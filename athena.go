@@ -1,0 +1,62 @@
+// Package athena is the public API of the Athena cross-layer measurement
+// framework, a full reimplementation-as-simulation of "Athena: Seeing and
+// Mitigating Wireless Impact on Video Conferencing and Beyond"
+// (HotNets 2024).
+//
+// The package exposes three levels of use:
+//
+//   - Run / Config: execute a complete Fig 2 testbed scenario — a VCA
+//     call over a slot-accurate 5G RAN model (or the paper's emulated
+//     wired baseline), with captures at all four measurement points, PHY
+//     telemetry, ICMP probing, and the Athena correlator's cross-layer
+//     report.
+//   - Figure, mitigation, ablation and study drivers (Fig3 … Fig10,
+//     M1 … M4, A1 … A4, S1 … S4): regenerate every evaluation artifact in
+//     the paper — plus the §5 agenda — returning plot-ready series.
+//   - The building blocks themselves live under internal/ and are
+//     exercised through this facade.
+package athena
+
+import (
+	"athena/internal/core"
+	"athena/internal/scenario"
+)
+
+// Config describes one testbed run; see scenario.Config for all knobs.
+type Config = scenario.Config
+
+// Result is a completed run: endpoints, captures, telemetry, and the
+// correlated cross-layer report.
+type Result = scenario.Result
+
+// Report is the Athena correlator's output.
+type Report = core.Report
+
+// Controller kinds selectable in Config.Controller.
+const (
+	GCC       = scenario.CtlGCC
+	NADA      = scenario.CtlNADA
+	SCReAM    = scenario.CtlSCReAM
+	LossBased = scenario.CtlLossBased
+	L4S       = scenario.CtlL4S
+	PHYAware  = scenario.CtlPHYAware
+	MaskedGCC = scenario.CtlMaskedGCC
+)
+
+// AccessKind selects the access technology in Config.Access (§5.1).
+type AccessKind = scenario.AccessKind
+
+// Access technologies.
+const (
+	Access5G    = scenario.Access5G
+	AccessWiFi  = scenario.AccessWiFi
+	AccessLEO   = scenario.AccessLEO
+	AccessWired = scenario.AccessWired
+)
+
+// DefaultConfig returns the paper-testbed defaults (private 5G SA cell,
+// GCC, light channel fading).
+func DefaultConfig() Config { return scenario.Defaults() }
+
+// Run executes a scenario and correlates its traces.
+func Run(cfg Config) *Result { return scenario.Run(cfg) }

@@ -1,0 +1,85 @@
+// Command athena-bench regenerates every evaluation artifact of the paper
+// — figures F3–F10, the §5 mitigation studies M1–M4, and the design
+// ablations A1–A4 — and prints each figure's series and headline numbers.
+//
+//	athena-bench                 # everything, full scale
+//	athena-bench -only F5,F10    # a subset
+//	athena-bench -scale 0.25     # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"athena"
+)
+
+var drivers = []struct {
+	id string
+	fn func(athena.Options) *athena.FigureData
+}{
+	{"F3", athena.Fig3},
+	{"F4", athena.Fig4},
+	{"F5", athena.Fig5},
+	{"F6", athena.Fig6},
+	{"F7", athena.Fig7},
+	{"F8", athena.Fig8},
+	{"F9a", athena.Fig9a},
+	{"F9b", athena.Fig9b},
+	{"F10", athena.Fig10},
+	{"M1", athena.M1},
+	{"M2", athena.M2},
+	{"M3", athena.M3},
+	{"M4", athena.M4},
+	{"A1", athena.A1},
+	{"A2", athena.A2},
+	{"A3", athena.A3},
+	{"A4", athena.A4},
+	{"S1", athena.S1PHYContexts},
+	{"S2", athena.S2AccessNetworks},
+	{"S3", athena.S3LearningCC},
+	{"S4", athena.S4AppDiversity},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("athena-bench: ")
+
+	scale := flag.Float64("scale", 1, "duration multiplier for all experiments")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
+	out := flag.String("out", "", "directory to also write per-figure CSV data into")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	o := athena.Options{Seed: *seed, Scale: *scale}
+	start := time.Now()
+	ran := 0
+	for _, d := range drivers {
+		if len(want) > 0 && !want[d.id] {
+			continue
+		}
+		t0 := time.Now()
+		fig := d.fn(o)
+		fmt.Print(fig)
+		if *out != "" {
+			paths, err := fig.Save(*out)
+			if err != nil {
+				log.Fatalf("saving %s: %v", d.id, err)
+			}
+			fmt.Printf("  [csv: %s]\n", strings.Join(paths, ", "))
+		}
+		fmt.Printf("  [regenerated in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	fmt.Printf("regenerated %d artifacts in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

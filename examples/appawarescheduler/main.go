@@ -1,0 +1,32 @@
+// appawarescheduler evaluates the §5.2 mitigation: the sender annotates
+// its RTP packets with media metadata (frame rate, frame-size estimate,
+// audio cadence), and the gNB issues right-sized uplink grants exactly
+// when frames are generated — instead of slow BSR round trips plus
+// trickling proactive grants. The paper projects this "has the potential
+// to cut the delay inflation experienced by frames in half."
+package main
+
+import (
+	"fmt"
+
+	"athena"
+)
+
+func main() {
+	fig := athena.M1(athena.Options{Seed: 1})
+
+	fmt.Println("== App-aware RAN scheduling (§5.2) ==")
+	fmt.Println("frame-level delay (first packet sent -> last packet at the core):")
+	order := []string{
+		"bsr-only", "proactive-only", "proactive+bsr (default)", "app-aware", "oracle",
+	}
+	for _, name := range order {
+		fmt.Printf("  %-26s mean %6.2f ms   p95 %6.2f ms\n",
+			name, fig.Scalars["mean_ms:"+name], fig.Scalars["p95_ms:"+name])
+	}
+	fmt.Printf("\napp-aware / default frame delay ratio: %.2f (paper projects <= 0.5)\n",
+		fig.Scalars["appaware_over_default"])
+	for _, n := range fig.Notes {
+		fmt.Println("#", n)
+	}
+}

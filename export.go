@@ -1,0 +1,86 @@
+package athena
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the figure's series as tidy CSV (series,x,y) so the data
+// can be re-plotted with any tool.
+func (f *FigureData) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			row := []string{
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalarsCSV emits the figure's scalar metrics as CSV (metric,value),
+// sorted by metric name for stable diffs.
+func (f *FigureData) WriteScalarsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "value"}); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(f.Scalars))
+	for k := range f.Scalars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := cw.Write([]string{k, strconv.FormatFloat(f.Scalars[k], 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Save writes <dir>/<id>.series.csv and <dir>/<id>.scalars.csv (creating
+// dir) and returns the paths written.
+func (f *FigureData) Save(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	id := strings.ToLower(f.ID)
+	var paths []string
+	write := func(name string, fn func(io.Writer) error) error {
+		p := filepath.Join(dir, fmt.Sprintf("%s.%s.csv", id, name))
+		file, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := fn(file); err != nil {
+			return err
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	if err := write("series", f.WriteCSV); err != nil {
+		return nil, err
+	}
+	if err := write("scalars", f.WriteScalarsCSV); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}

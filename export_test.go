@@ -1,0 +1,74 @@
+package athena
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"athena/internal/stats"
+)
+
+func sampleFig() *FigureData {
+	fig := newFigure("T1", "test figure")
+	fig.add("line-a", []stats.Point{{X: 1, Y: 2}, {X: 3, Y: 4}})
+	fig.add("line-b", []stats.Point{{X: 5, Y: 6}})
+	fig.Scalars["zeta"] = 1.5
+	fig.Scalars["alpha"] = 0.25
+	return fig
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFig().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "series,x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "line-a,1,2" || lines[3] != "line-b,5,6" {
+		t.Fatalf("rows: %v", lines)
+	}
+}
+
+func TestWriteScalarsCSVSorted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFig().WriteScalarsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1] != "alpha,0.25" || lines[2] != "zeta,1.5" {
+		t.Fatalf("not sorted: %v", lines)
+	}
+}
+
+func TestSaveWritesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := sampleFig().Save(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s empty", p)
+		}
+		if !strings.Contains(p, "t1.") {
+			t.Fatalf("id not lowercased in %s", p)
+		}
+	}
+}

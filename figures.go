@@ -1,0 +1,297 @@
+package athena
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/ran"
+	"athena/internal/rtp"
+	"athena/internal/scenario"
+	"athena/internal/stats"
+	"athena/internal/units"
+)
+
+// Series is one named line of a figure.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// FigureData is the plot-ready output of a figure driver: the same lines
+// the paper's figure draws, plus free-form notes (takeaways, drill-down
+// rows) and scalar metrics.
+type FigureData struct {
+	ID      string
+	Title   string
+	Series  []Series
+	Notes   []string
+	Scalars map[string]float64
+}
+
+func newFigure(id, title string) *FigureData {
+	return &FigureData{ID: id, Title: title, Scalars: map[string]float64{}}
+}
+
+func (f *FigureData) add(name string, pts []stats.Point) {
+	f.Series = append(f.Series, Series{Name: name, Points: pts})
+}
+
+func (f *FigureData) note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the figure data as text: scalars, series (downsampled),
+// and notes.
+func (f *FigureData) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for k, v := range f.Scalars {
+		fmt.Fprintf(&b, "  %s = %.3f\n", k, v)
+	}
+	for _, s := range f.Series {
+		b.WriteString(stats.FormatPoints(s.Name, stats.Downsample(s.Points, 24)))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  # %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes figure regeneration. Scale multiplies the (already
+// shortened) default durations; 1.0 gives runs of 1–4 simulated minutes.
+type Options struct {
+	Seed  int64
+	Scale float64
+}
+
+func (o Options) scale(d time.Duration) time.Duration {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return time.Duration(float64(d) * s)
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// cdfPoints renders a sample set as CDF curve points.
+func cdfPoints(xs []float64, n int) []stats.Point {
+	return stats.NewCDF(xs).Points(n)
+}
+
+// Fig3 regenerates the one-way-delay time series of Fig 3: RTP sender→core
+// (the 5G uplink), RTP core→receiver (WAN + SFU), and ICMP core→SFU→core
+// probes, under the paper's cross-traffic phase schedule (time-compressed).
+// Takeaway to reproduce: the uplink is the dominant jitter source; probes
+// and the downstream segment stay low and stable.
+func Fig3(o Options) *FigureData {
+	cfg := DefaultConfig()
+	cfg.Seed = o.seed()
+	cfg.Duration = o.scale(2 * time.Minute)
+	cfg.TwoParty = true // the far party's stream exercises the downlink
+	cfg.CrossUEs = 6
+	q := cfg.Duration / 4
+	cfg.CrossPhases = []ran.CrossPhase{
+		{Start: 0, Rate: 0},
+		{Start: q, Rate: 14 * units.Mbps},
+		{Start: 2 * q, Rate: 16 * units.Mbps},
+		{Start: 3 * q, Rate: 18 * units.Mbps},
+	}
+	res := Run(cfg)
+
+	fig := newFigure("F3", "One-Way Delay in ICMP and Zoom RTP Media Traffic")
+	up := stats.NewSeries("rtp-1-2")
+	down := stats.NewSeries("rtp-2-3*-4")
+	for _, v := range res.Report.Packets {
+		if v.Kind != packet.KindVideo && v.Kind != packet.KindAudio {
+			continue
+		}
+		if v.SeenCore {
+			up.Add(v.SentAt, float64(v.ULDelay)/float64(time.Millisecond))
+		}
+		if v.SeenRecv && v.SeenCore {
+			down.Add(v.CoreAt, float64(v.WANDelay)/float64(time.Millisecond))
+		}
+	}
+	icmp := stats.NewSeries("icmp-2-3-1")
+	for _, r := range res.Prober.Results {
+		icmp.Add(r.SentAt, float64(r.OWD())/float64(time.Millisecond))
+	}
+	fig.add("RTP 1-2 (uplink) OWD ms", up.Bin(time.Second, stats.Mean))
+	fig.add("RTP 2-3*-4 OWD ms", down.Bin(time.Second, stats.Mean))
+	fig.add("ICMP 2-3-1 OWD ms", icmp.Bin(time.Second, stats.Mean))
+
+	upS := stats.Summarize(up.Values())
+	downS := stats.Summarize(down.Values())
+	icmpS := stats.Summarize(icmp.Values())
+	fig.Scalars["uplink_p95_ms"] = upS.P95
+	fig.Scalars["downstream_p95_ms"] = downS.P95
+	fig.Scalars["icmp_p95_ms"] = icmpS.P95
+	fig.Scalars["uplink_jitter_range_ms"] = upS.P99 - upS.P10
+	fig.note("uplink jitter range (p99-p10) %.1f ms vs downstream %.1f ms vs probes %.1f ms",
+		upS.P99-upS.P10, downS.P99-downS.P10, icmpS.P99-icmpS.P10)
+
+	// Takeaway (c): the 5G RAN *downlink* also provides low and stable
+	// delay — measured on the far party's media stream.
+	if res.DLReceiver != nil && len(res.DLReceiver.VideoOWDMS) > 0 {
+		dlS := stats.Summarize(res.DLReceiver.VideoOWDMS)
+		fig.Scalars["dl_media_p95_ms"] = dlS.P95
+		fig.Scalars["dl_media_jitter_range_ms"] = dlS.P99 - dlS.P10
+		fig.note("5G downlink media jitter range %.1f ms — no BSR cycle, no grant trickle", dlS.P99-dlS.P10)
+	}
+	return fig
+}
+
+// Fig4 regenerates the audio-vs-video RAN-delay CDFs of Fig 4. Audio
+// samples (single small packets) are less delayed; video's multi-packet
+// frames absorb the scheduling delay spread.
+func Fig4(o Options) *FigureData {
+	cfg := DefaultConfig()
+	cfg.Seed = o.seed()
+	cfg.Duration = o.scale(90 * time.Second)
+	res := Run(cfg)
+
+	fig := newFigure("F4", "Zoom audio experiences lower delay than video (RAN delay CDF)")
+	audio := res.Report.ULDelaysMS(packet.KindAudio)
+	video := res.Report.ULDelaysMS(packet.KindVideo)
+	fig.add("audio CDF (x=ms)", cdfPoints(audio, 40))
+	fig.add("video CDF (x=ms)", cdfPoints(video, 40))
+	fig.Scalars["audio_p50_ms"] = stats.Quantile(audio, 0.5)
+	fig.Scalars["video_p50_ms"] = stats.Quantile(video, 0.5)
+	fig.Scalars["audio_p99_ms"] = stats.Quantile(audio, 0.99)
+	fig.note("audio median below video median; both share a long tail from fades/retransmissions")
+	return fig
+}
+
+// Fig5 regenerates the delay-spread CDFs of Fig 5 (sender vs 5G core) on
+// an idle cell. The core-side spread steps in 2.5 ms increments — the UL
+// slot period.
+func Fig5(o Options) *FigureData {
+	cfg := DefaultConfig()
+	cfg.Seed = o.seed()
+	cfg.Duration = o.scale(90 * time.Second)
+	// The paper computes Fig 5 over a no-cross-traffic period.
+	res := Run(cfg)
+
+	fig := newFigure("F5", "Delay spread introduced in the RAN uplink")
+	sender, coreSp := res.Report.SpreadsMS()
+	fig.add("sender spread CDF (x=ms)", cdfPoints(sender, 30))
+	fig.add("5G-core spread CDF (x=ms)", cdfPoints(coreSp, 30))
+	fig.Scalars["core_spread_p90_ms"] = stats.Quantile(coreSp, 0.9)
+	// Verify the 2.5 ms quantization and report it.
+	quantized := 0
+	for _, sp := range coreSp {
+		if r := sp / 2.5; r == float64(int(r)) {
+			quantized++
+		}
+	}
+	fig.Scalars["fraction_on_2.5ms_grid"] = float64(quantized) / float64(len(coreSp))
+	fig.note("core-side spreads fall on the 2.5 ms UL-slot grid (%d/%d)", quantized, len(coreSp))
+	return fig
+}
+
+// Fig6 renders the TDD frame structure and BSR/grant timeline (the
+// paper's schematic, emitted from the live cell configuration).
+func Fig6(o Options) *FigureData {
+	cfg := DefaultConfig()
+	fig := newFigure("F6", "5G frame structure: DL/UL switching and BSR-based uplink transmission")
+	fig.note("%s", cfg.RAN.FrameStructure())
+	fig.Scalars["ul_period_ms"] = float64(cfg.RAN.ULPeriod()) / float64(time.Millisecond)
+	fig.Scalars["sched_delay_ms"] = float64(cfg.RAN.SchedDelay) / float64(time.Millisecond)
+	fig.Scalars["harq_rtt_ms"] = float64(cfg.RAN.HARQRTT) / float64(time.Millisecond)
+	return fig
+}
+
+// Fig7 regenerates the four QoE CDFs of Fig 7: the same call over the 5G
+// cell versus a fixed-latency wired link replaying the 5G run's TB-size
+// capacity schedule. 5G should lose on all four metrics.
+func Fig7(o Options) *FigureData {
+	base := DefaultConfig()
+	base.Seed = o.seed()
+	base.Duration = o.scale(2 * time.Minute)
+	base.CrossUEs = 6
+	q := base.Duration / 4
+	base.CrossPhases = []ran.CrossPhase{
+		{Start: 0, Rate: 0},
+		{Start: q, Rate: 14 * units.Mbps},
+		{Start: 2 * q, Rate: 16 * units.Mbps},
+		{Start: 3 * q, Rate: 18 * units.Mbps},
+	}
+	g5 := Run(base)
+
+	em := base
+	em.Emulated = true
+	// The paper's baseline uses tc with the cellular capacity "calculated
+	// from the physical transport block sizes": the cell's per-slot TBS
+	// capability as a constant rate, at a fixed 15 ms latency. (The
+	// per-slot granted trace is available via TBSchedule for replay
+	// studies, but grants track demand, not capacity.)
+	em.EmulatedSchedule = []units.ByteCount{base.RAN.SlotCapacity()}
+	emr := Run(em)
+
+	fig := newFigure("F7", "5G degradation: QoE vs wired network with equal emulated capacity")
+	fig.add("5G receive bitrate CDF (x=kbps)", cdfPoints(g5.Receiver.ReceiveRates(), 30))
+	fig.add("emulated receive bitrate CDF (x=kbps)", cdfPoints(emr.Receiver.ReceiveRates(), 30))
+	fig.add("5G frame jitter CDF (x=ms)", cdfPoints(g5.Receiver.FrameJitter, 30))
+	fig.add("emulated frame jitter CDF (x=ms)", cdfPoints(emr.Receiver.FrameJitter, 30))
+	fig.add("5G frame rate CDF (x=fps)", cdfPoints(g5.Receiver.Renderer.FrameRates(), 30))
+	fig.add("emulated frame rate CDF (x=fps)", cdfPoints(emr.Receiver.Renderer.FrameRates(), 30))
+	fig.add("5G SSIM CDF", cdfPoints(g5.Receiver.Renderer.SSIMs, 30))
+	fig.add("emulated SSIM CDF", cdfPoints(emr.Receiver.Renderer.SSIMs, 30))
+
+	fig.Scalars["5g_bitrate_p50_kbps"] = stats.Quantile(g5.Receiver.ReceiveRates(), 0.5)
+	fig.Scalars["em_bitrate_p50_kbps"] = stats.Quantile(emr.Receiver.ReceiveRates(), 0.5)
+	fig.Scalars["5g_jitter_p50_ms"] = stats.Quantile(g5.Receiver.FrameJitter, 0.5)
+	fig.Scalars["em_jitter_p50_ms"] = stats.Quantile(emr.Receiver.FrameJitter, 0.5)
+	fig.Scalars["5g_fps_p50"] = stats.Quantile(g5.Receiver.Renderer.FrameRates(), 0.5)
+	fig.Scalars["em_fps_p50"] = stats.Quantile(emr.Receiver.Renderer.FrameRates(), 0.5)
+	fig.Scalars["5g_ssim_p50"] = stats.Quantile(g5.Receiver.Renderer.SSIMs, 0.5)
+	fig.Scalars["em_ssim_p50"] = stats.Quantile(emr.Receiver.Renderer.SSIMs, 0.5)
+	fig.note("5G delivers lower bitrate, higher media jitter, lower frame rate and lower SSIM than the equal-capacity wired baseline")
+	return fig
+}
+
+// Fig8 regenerates the Zoom adaptation time series of Fig 8: per-SVC-layer
+// bitrates, frame rate, and delay, with a >1 s delay episode (→ permanent
+// 14 fps downgrade) and a jitter episode (→ transient ~20 fps skipping).
+func Fig8(o Options) *FigureData {
+	cfg := DefaultConfig()
+	cfg.Seed = o.seed()
+	cfg.Duration = o.scale(3 * time.Minute)
+	third := cfg.Duration / 6
+	cfg.Spikes = []Spike{{Start: 2 * third, End: 2*third + 8*time.Second, Extra: 1100 * time.Millisecond}}
+	cfg.Jitters = []JitterEpisode{{Start: 4 * third, End: 5 * third, Amp: 130 * time.Millisecond}}
+	res := Run(cfg)
+
+	fig := newFigure("F8", "Zoom adaptation: frame-rate reaction to delay and jitter")
+	for _, l := range []rtp.SVCLayer{rtp.LayerBase, rtp.LayerLowFPSEnhancement, rtp.LayerHighFPSEnhancement, rtp.LayerAudio} {
+		if pts := res.Receiver.LayerRateSeries(l); pts != nil {
+			fig.add("bitrate kbps: "+l.String(), pts)
+		}
+	}
+	fig.add("frame rate fps", res.Receiver.Renderer.FrameRateSeries())
+	fig.add("sender OWD ms", res.Sender.OWDSeries.Bin(time.Second, stats.Mean))
+	fig.add("encoder mode fps", res.Sender.ModeSeries.Bin(time.Second, stats.MaxOf))
+	fig.Scalars["mode_changes"] = float64(res.Sender.Adapt().ModeChanges())
+	fig.Scalars["skip_events"] = float64(res.Sender.SkipEvents)
+	fig.note("delay episode switches the SVC layer set to 14 fps; jitter episode causes transient frame skipping")
+	return fig
+}
+
+// Spike and JitterEpisode re-export the scenario injection types for
+// custom experiments.
+type (
+	Spike         = scenario.Spike
+	JitterEpisode = scenario.JitterEpisode
+)
+
+// TBSchedule extracts the per-UL-slot capacity schedule from a 5G run for
+// the Fig 7 emulated baseline.
+func TBSchedule(res *Result) []units.ByteCount { return scenario.TBSchedule(res) }

@@ -1,0 +1,217 @@
+// Package apps generates the uplink traffic patterns of the application
+// classes §5.1 enumerates beyond video conferencing — "there are more and
+// more diverse applications that exhibit various traffic patterns (e.g.,
+// short video, video on demand, web browsing, interactive applications)"
+// — together with the per-class metrics that make RAN artifacts visible:
+// a cloud-gaming input stream cares about every packet's latency, a web
+// browser about whole-burst completion, a background uploader about
+// throughput, and a VoD/short-video client about chunk-request turnaround.
+//
+// Each generator drives packets into any packet.Handler (a 5G UE, a Wi-Fi
+// AP, a wired link), so study S4 can replay the same workload across
+// access networks.
+package apps
+
+import (
+	"math/rand"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+	"athena/internal/stats"
+	"athena/internal/units"
+)
+
+// Class names an application traffic class.
+type Class string
+
+// Application classes.
+const (
+	ClassGaming Class = "cloud-gaming" // 125 Hz input events, tiny packets
+	ClassWeb    Class = "web"          // sporadic request bursts
+	ClassUpload Class = "upload"       // saturating bulk transfer
+	ClassVoD    Class = "vod"          // periodic chunk requests
+)
+
+// Generator drives one application's uplink into out and scores arrivals.
+type Generator struct {
+	Class Class
+	Flow  uint32
+
+	sim   *sim.Simulator
+	alloc *packet.Alloc
+	out   packet.Handler
+	rng   *rand.Rand
+
+	// sentAt tracks per-packet send times for delay scoring; burstOf maps
+	// packets to bursts for completion metrics.
+	sentAt  map[uint64]time.Duration
+	burstOf map[uint64]int
+	bursts  map[int]*burstState
+
+	// DelaysMS collects per-packet one-way delays.
+	DelaysMS []float64
+	// BurstCompletionsMS collects per-burst first-send→last-arrival times
+	// (web page request, VoD chunk request).
+	BurstCompletionsMS []float64
+	// BurstSpreadsMS collects per-burst arrival dispersion (last minus
+	// first arrival) — the propagation-independent artifact signal.
+	BurstSpreadsMS []float64
+	// Delivered counts bytes that arrived (upload throughput).
+	Delivered units.ByteCount
+
+	nextBurst int
+	stopAfter time.Duration
+}
+
+type burstState struct {
+	firstSent time.Duration
+	pending   int
+	firstArr  time.Duration
+	haveFirst bool
+	lastArr   time.Duration
+}
+
+// New creates a generator of the given class feeding out. Call Start to
+// begin and route the far end's deliveries to OnArrival.
+func New(s *sim.Simulator, alloc *packet.Alloc, class Class, flow uint32, out packet.Handler) *Generator {
+	if out == nil {
+		out = packet.Discard
+	}
+	return &Generator{
+		Class:   class,
+		Flow:    flow,
+		sim:     s,
+		alloc:   alloc,
+		out:     out,
+		rng:     s.NewStream(),
+		sentAt:  make(map[uint64]time.Duration),
+		burstOf: make(map[uint64]int),
+		bursts:  make(map[int]*burstState),
+	}
+}
+
+// Start generates traffic until `until` (simulation time).
+func (g *Generator) Start(until time.Duration) {
+	g.stopAfter = until
+	switch g.Class {
+	case ClassGaming:
+		// 125 Hz input events, ~100 B each (mouse/controller state).
+		g.sim.Every(0, 8*time.Millisecond, func() { g.emitSolo(100) })
+	case ClassWeb:
+		// A page interaction every ~3 s: 6–18 request packets of ~600 B.
+		g.scheduleWebBurst()
+	case ClassUpload:
+		// Saturating: 1200 B packets at 8 Mbps offered.
+		g.sim.Every(0, 1200*time.Microsecond, func() { g.emitSolo(1200) })
+	case ClassVoD:
+		// A chunk request (3 packets) every 4 s; QoE is request turnaround.
+		g.sim.Every(0, 4*time.Second, func() { g.emitBurst(3, 400) })
+	}
+}
+
+func (g *Generator) scheduleWebBurst() {
+	gap := 1500*time.Millisecond + time.Duration(g.rng.Int63n(int64(3*time.Second)))
+	g.sim.After(gap, func() {
+		if g.sim.Now() > g.stopAfter {
+			return
+		}
+		n := 6 + g.rng.Intn(13)
+		g.emitBurst(n, 600)
+		g.scheduleWebBurst()
+	})
+}
+
+func (g *Generator) emitSolo(size units.ByteCount) {
+	if g.sim.Now() > g.stopAfter {
+		return
+	}
+	p := g.alloc.New(packet.KindCross, g.Flow, size, g.sim.Now())
+	g.sentAt[p.ID] = g.sim.Now()
+	g.out.Handle(p)
+}
+
+func (g *Generator) emitBurst(n int, size units.ByteCount) {
+	if g.sim.Now() > g.stopAfter {
+		return
+	}
+	id := g.nextBurst
+	g.nextBurst++
+	g.bursts[id] = &burstState{firstSent: g.sim.Now(), pending: n}
+	for i := 0; i < n; i++ {
+		p := g.alloc.New(packet.KindCross, g.Flow, size, g.sim.Now())
+		g.sentAt[p.ID] = g.sim.Now()
+		g.burstOf[p.ID] = id
+		g.out.Handle(p)
+	}
+}
+
+// OnArrival scores a delivered packet (wire it to the far-end tap).
+func (g *Generator) OnArrival(p *packet.Packet, now time.Duration) {
+	sent, ok := g.sentAt[p.ID]
+	if !ok {
+		return
+	}
+	delete(g.sentAt, p.ID)
+	g.DelaysMS = append(g.DelaysMS, float64(now-sent)/float64(time.Millisecond))
+	g.Delivered += p.Size
+	if bid, ok := g.burstOf[p.ID]; ok {
+		delete(g.burstOf, p.ID)
+		b := g.bursts[bid]
+		b.pending--
+		if !b.haveFirst || now < b.firstArr {
+			b.firstArr = now
+			b.haveFirst = true
+		}
+		if now > b.lastArr {
+			b.lastArr = now
+		}
+		if b.pending == 0 {
+			g.BurstCompletionsMS = append(g.BurstCompletionsMS,
+				float64(b.lastArr-b.firstSent)/float64(time.Millisecond))
+			g.BurstSpreadsMS = append(g.BurstSpreadsMS,
+				float64(b.lastArr-b.firstArr)/float64(time.Millisecond))
+			delete(g.bursts, bid)
+		}
+	}
+}
+
+// Metrics summarizes the class-appropriate QoE numbers.
+type Metrics struct {
+	Class          Class
+	DelayP50MS     float64
+	DelayP95MS     float64
+	DelayP99MS     float64
+	BurstP95MS     float64 // NaN when the class has no bursts
+	BurstSpreadP95 float64 // arrival dispersion, propagation-independent
+	ThroughputMbps float64
+	// LateInputs is the fraction of packets over 10 ms — one frame of a
+	// 100 fps cloud-gaming stream, the responsiveness budget for input
+	// events.
+	LateInputs float64
+}
+
+// Metrics computes the summary over a run of duration d.
+func (g *Generator) Metrics(d time.Duration) Metrics {
+	m := Metrics{
+		Class:          g.Class,
+		DelayP50MS:     stats.Quantile(g.DelaysMS, 0.5),
+		DelayP95MS:     stats.Quantile(g.DelaysMS, 0.95),
+		DelayP99MS:     stats.Quantile(g.DelaysMS, 0.99),
+		BurstP95MS:     stats.Quantile(g.BurstCompletionsMS, 0.95),
+		BurstSpreadP95: stats.Quantile(g.BurstSpreadsMS, 0.95),
+	}
+	if d > 0 {
+		m.ThroughputMbps = float64(g.Delivered.Bits()) / d.Seconds() / 1e6
+	}
+	late := 0
+	for _, v := range g.DelaysMS {
+		if v > 10 {
+			late++
+		}
+	}
+	if len(g.DelaysMS) > 0 {
+		m.LateInputs = float64(late) / float64(len(g.DelaysMS))
+	}
+	return m
+}

@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/ran"
+	"athena/internal/sim"
+)
+
+// runOver drives a class through the given cell scheduler for dur and
+// returns its metrics.
+func runOver(t *testing.T, class Class, sched ran.SchedulerKind, dur time.Duration) Metrics {
+	t.Helper()
+	s := sim.New(1)
+	var alloc packet.Alloc
+	var g *Generator
+	tap := packet.HandlerFunc(func(p *packet.Packet) { g.OnArrival(p, s.Now()) })
+	r := ran.New(s, ran.Defaults(), tap)
+	ue := r.AttachUE(1, sched)
+	g = New(s, &alloc, class, 1, ue)
+	g.Start(dur)
+	s.RunUntil(dur + 2*time.Second)
+	return g.Metrics(dur)
+}
+
+func TestGamingDeliversAndScores(t *testing.T) {
+	m := runOver(t, ClassGaming, ran.SchedCombined, 5*time.Second)
+	if m.DelayP50MS <= 0 {
+		t.Fatal("no delays scored")
+	}
+	// Tiny sporadic packets ride proactive grants: median well under the
+	// BSR cycle.
+	if m.DelayP50MS > 6 {
+		t.Fatalf("gaming p50 = %v ms with proactive grants", m.DelayP50MS)
+	}
+	if math.IsNaN(m.LateInputs) {
+		t.Fatal("late-input fraction missing")
+	}
+}
+
+func TestGamingSuffersWithoutProactive(t *testing.T) {
+	with := runOver(t, ClassGaming, ran.SchedCombined, 5*time.Second)
+	without := runOver(t, ClassGaming, ran.SchedBSROnly, 5*time.Second)
+	// The cited sporadic-small-traffic result: BSR-only forces every
+	// input event through the ~10 ms grant cycle.
+	if without.DelayP50MS <= with.DelayP50MS+5 {
+		t.Fatalf("bsr-only gaming p50 %v should far exceed combined %v",
+			without.DelayP50MS, with.DelayP50MS)
+	}
+	if without.LateInputs <= with.LateInputs {
+		t.Fatalf("late inputs: bsr-only %v vs combined %v", without.LateInputs, with.LateInputs)
+	}
+}
+
+func TestWebBurstCompletion(t *testing.T) {
+	m := runOver(t, ClassWeb, ran.SchedCombined, 20*time.Second)
+	if math.IsNaN(m.BurstP95MS) || m.BurstP95MS <= 0 {
+		t.Fatalf("no burst completions: %+v", m)
+	}
+	// A multi-packet burst spans several UL slots at least.
+	if m.BurstP95MS < 2.5 {
+		t.Fatalf("burst completion %v ms implausibly fast", m.BurstP95MS)
+	}
+}
+
+func TestUploadThroughput(t *testing.T) {
+	m := runOver(t, ClassUpload, ran.SchedCombined, 5*time.Second)
+	// 8 Mbps offered into a 20 Mbps cell: most should arrive.
+	if m.ThroughputMbps < 6 || m.ThroughputMbps > 9 {
+		t.Fatalf("upload throughput = %v Mbps", m.ThroughputMbps)
+	}
+}
+
+func TestVoDChunks(t *testing.T) {
+	m := runOver(t, ClassVoD, ran.SchedCombined, 20*time.Second)
+	if math.IsNaN(m.BurstP95MS) {
+		t.Fatal("no chunk completions")
+	}
+}
+
+func TestGeneratorStopsAtDeadline(t *testing.T) {
+	s := sim.New(1)
+	var alloc packet.Alloc
+	n := 0
+	g := New(s, &alloc, ClassGaming, 1, packet.HandlerFunc(func(*packet.Packet) { n++ }))
+	g.Start(time.Second)
+	s.RunUntil(5 * time.Second)
+	// 125 Hz for 1 s ≈ 126 packets; nothing after the deadline.
+	if n < 120 || n > 130 {
+		t.Fatalf("emitted %d packets", n)
+	}
+}
+
+func TestOnArrivalIgnoresStrangers(t *testing.T) {
+	s := sim.New(1)
+	var alloc packet.Alloc
+	g := New(s, &alloc, ClassWeb, 1, nil)
+	stray := alloc.New(packet.KindCross, 9, 100, 0)
+	g.OnArrival(stray, time.Second) // must not panic or score
+	if len(g.DelaysMS) != 0 {
+		t.Fatal("stray packet scored")
+	}
+}

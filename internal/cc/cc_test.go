@@ -1,0 +1,125 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	var h History
+	h.Add(SentPacket{Seq: 5, Size: 1200, SentAt: time.Millisecond})
+	p, ok := h.Get(5)
+	if !ok || p.Size != 1200 {
+		t.Fatalf("Get: %+v %v", p, ok)
+	}
+	if _, ok := h.Get(6); ok {
+		t.Fatal("missing seq found")
+	}
+}
+
+func TestHistoryCollisionDetected(t *testing.T) {
+	var h History
+	h.Add(SentPacket{Seq: 1, Size: 100})
+	// Seq 1+4096 maps to the same slot; after overwrite, Get(1) must miss.
+	h.Add(SentPacket{Seq: 1 + 4096, Size: 200})
+	if _, ok := h.Get(1); ok {
+		t.Fatal("stale entry returned after collision")
+	}
+	p, ok := h.Get(1 + 4096)
+	if !ok || p.Size != 200 {
+		t.Fatal("new entry lost")
+	}
+}
+
+func TestHistoryWrapsSeq(t *testing.T) {
+	var h History
+	for seq := uint16(65530); seq != 10; seq++ {
+		h.Add(SentPacket{Seq: seq, Size: units.ByteCount(seq)})
+	}
+	for seq := uint16(65530); seq != 10; seq++ {
+		if p, ok := h.Get(seq); !ok || p.Size != units.ByteCount(seq) {
+			t.Fatalf("seq %d lost across wrap", seq)
+		}
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	w := NewRateWindow(500 * time.Millisecond)
+	// 62500 bytes over 500ms = 1 Mbps.
+	for i := 0; i < 50; i++ {
+		w.Add(time.Duration(i)*10*time.Millisecond, 1250)
+	}
+	got := w.Rate(500 * time.Millisecond)
+	if got < 900*units.Kbps || got > 1100*units.Kbps {
+		t.Fatalf("Rate = %v, want ~1Mbps", got)
+	}
+	// Much later, the window is empty.
+	if w.Rate(10*time.Second) != 0 {
+		t.Fatal("stale events not trimmed")
+	}
+}
+
+func TestRateWindowDefault(t *testing.T) {
+	if NewRateWindow(0).Window != 500*time.Millisecond {
+		t.Fatal("default window")
+	}
+}
+
+func TestLossEstimator(t *testing.T) {
+	var l LossEstimator
+	fb := &rtp.Feedback{Reports: []rtp.ArrivalInfo{
+		{Seq: 1, Received: true}, {Seq: 2, Received: false},
+	}}
+	l.Update(fb)
+	if l.Fraction() <= 0 || l.Fraction() > 0.5 {
+		t.Fatalf("Fraction = %v", l.Fraction())
+	}
+	// All-received reports decay it.
+	clean := &rtp.Feedback{Reports: []rtp.ArrivalInfo{{Seq: 3, Received: true}}}
+	before := l.Fraction()
+	for i := 0; i < 10; i++ {
+		l.Update(clean)
+	}
+	if l.Fraction() >= before {
+		t.Fatal("fraction did not decay")
+	}
+	l.Update(&rtp.Feedback{}) // empty: no change, no panic
+}
+
+func TestMaskFeedback(t *testing.T) {
+	fb := &rtp.Feedback{SSRC: 1, Reports: []rtp.ArrivalInfo{
+		{Seq: 1, Received: true, Arrival: 100 * time.Millisecond},
+		{Seq: 2, Received: false},
+		{Seq: 3, Received: true, Arrival: 200 * time.Millisecond},
+	}}
+	masked := MaskFeedback(fb, func(seq uint16) (time.Duration, bool) {
+		if seq == 1 {
+			return 30 * time.Millisecond, true
+		}
+		return 0, false
+	})
+	if masked.Reports[0].Arrival != 70*time.Millisecond {
+		t.Errorf("seq 1 arrival = %v", masked.Reports[0].Arrival)
+	}
+	if masked.Reports[2].Arrival != 200*time.Millisecond {
+		t.Errorf("seq 3 should be untouched")
+	}
+	// Original untouched.
+	if fb.Reports[0].Arrival != 100*time.Millisecond {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMaskFeedbackNilCases(t *testing.T) {
+	if MaskFeedback(nil, nil) != nil {
+		t.Fatal("nil in, nil out")
+	}
+	fb := &rtp.Feedback{Reports: []rtp.ArrivalInfo{{Seq: 1, Received: true, Arrival: time.Second}}}
+	out := MaskFeedback(fb, nil)
+	if out.Reports[0].Arrival != time.Second {
+		t.Fatal("nil adjuster should copy unchanged")
+	}
+}

@@ -1,0 +1,114 @@
+package gcc
+
+import (
+	"math"
+	"time"
+
+	"athena/internal/units"
+)
+
+// rateState is the AIMD controller's state machine position.
+type rateState uint8
+
+const (
+	rateHold rateState = iota
+	rateIncrease
+	rateDecrease
+)
+
+// AIMD parameters (WebRTC AimdRateControl).
+const (
+	beta               = 0.85 // multiplicative decrease to 85% of acked rate
+	increaseFactorPerS = 1.08 // multiplicative increase per second
+	additiveMinBps     = 4000 // additive increase floor per response time
+)
+
+// aimd is the delay-based rate controller.
+type aimd struct {
+	rate       units.BitRate
+	minRate    units.BitRate
+	maxRate    units.BitRate
+	state      rateState
+	lastChange time.Duration
+	haveChange bool
+
+	// linkCapacity is the decayed estimate of the rate at the last
+	// overuse, switching increase mode from multiplicative to additive
+	// when close.
+	linkCapacity units.BitRate
+	haveLinkCap  bool
+}
+
+func newAIMD(initial, min, max units.BitRate) *aimd {
+	return &aimd{rate: initial, minRate: min, maxRate: max, state: rateHold}
+}
+
+// update applies the detector signal and the current acked rate.
+func (a *aimd) update(sig Usage, acked units.BitRate, now time.Duration) {
+	// State transitions (WebRTC ChangeState): overuse always decreases;
+	// underuse holds (the queues are draining — don't push); normal
+	// ratchets Hold→Increase.
+	switch sig {
+	case UsageOveruse:
+		a.state = rateDecrease
+	case UsageUnderuse:
+		a.state = rateHold
+	default:
+		if a.state == rateDecrease {
+			a.state = rateHold
+		} else if a.state == rateHold {
+			a.state = rateIncrease
+		}
+	}
+
+	dt := time.Second
+	if a.haveChange && now > a.lastChange {
+		dt = now - a.lastChange
+		if dt > time.Second {
+			dt = time.Second
+		}
+	}
+
+	switch a.state {
+	case rateIncrease:
+		if a.haveLinkCap && nearCapacity(a.rate, a.linkCapacity) {
+			// Additive: about one packet per response time.
+			add := units.BitRate(float64(additiveMinBps) * dt.Seconds() * 10)
+			if add < 1000 {
+				add = 1000
+			}
+			a.rate += add
+		} else {
+			factor := math.Pow(increaseFactorPerS, dt.Seconds())
+			a.rate = units.BitRate(float64(a.rate) * factor)
+		}
+		a.lastChange = now
+		a.haveChange = true
+	case rateDecrease:
+		target := units.BitRate(beta * float64(acked))
+		if acked == 0 {
+			target = units.BitRate(beta * float64(a.rate))
+		}
+		if target < a.rate {
+			a.rate = target
+		}
+		a.linkCapacity = acked
+		a.haveLinkCap = acked > 0
+		a.lastChange = now
+		a.haveChange = true
+		// After decreasing, hold until the next normal signal.
+		a.state = rateHold
+	case rateHold:
+		// no rate change
+	}
+	a.rate = units.ClampRate(a.rate, a.minRate, a.maxRate)
+}
+
+// nearCapacity reports whether rate is close enough to the last-known
+// link capacity that further growth should be additive, not
+// multiplicative.
+func nearCapacity(rate, linkCap units.BitRate) bool {
+	lo := float64(linkCap) * 0.9
+	hi := float64(linkCap) * 1.5
+	return float64(rate) > lo && float64(rate) < hi
+}

@@ -1,0 +1,58 @@
+// Package lossbased implements the classic loss-driven AIMD baseline the
+// paper argues is "poorly-suited for low-latency video conferencing": it
+// only reacts once queues overflow, after delay has already ballooned.
+// It serves as the comparison point for the delay-based algorithms.
+package lossbased
+
+import (
+	"time"
+
+	"athena/internal/cc"
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+// Controller is a TCP-Reno-flavored rate controller driven purely by loss.
+type Controller struct {
+	rate     units.BitRate
+	min, max units.BitRate
+	loss     cc.LossEstimator
+	lastUp   time.Duration
+}
+
+var _ cc.Controller = (*Controller)(nil)
+
+// New creates the controller.
+func New(initial, min, max units.BitRate) *Controller {
+	return &Controller{rate: initial, min: min, max: max}
+}
+
+// Name implements cc.Controller.
+func (c *Controller) Name() string { return "loss-based" }
+
+// OnPacketSent implements cc.Controller (loss-based needs no send state).
+func (c *Controller) OnPacketSent(uint16, units.ByteCount, time.Duration) {}
+
+// OnFeedback implements cc.Controller: halve on meaningful loss, probe
+// upward otherwise.
+func (c *Controller) OnFeedback(fb *rtp.Feedback, now time.Duration) {
+	lost := false
+	for _, r := range fb.Reports {
+		if !r.Received {
+			lost = true
+			break
+		}
+	}
+	c.loss.Update(fb)
+	if lost && c.loss.Fraction() > 0.02 {
+		c.rate = units.BitRate(float64(c.rate) * 0.5)
+	} else if now-c.lastUp >= 100*time.Millisecond {
+		// Additive increase ~50 kbps per second.
+		c.rate += units.BitRate(5 * units.Kbps)
+		c.lastUp = now
+	}
+	c.rate = units.ClampRate(c.rate, c.min, c.max)
+}
+
+// TargetRate implements cc.Controller.
+func (c *Controller) TargetRate() units.BitRate { return c.rate }

@@ -1,0 +1,58 @@
+package lossbased
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+func TestGrowsWithoutLoss(t *testing.T) {
+	c := New(500*units.Kbps, 50*units.Kbps, 5*units.Mbps)
+	for i := 0; i < 50; i++ {
+		fb := &rtp.Feedback{Reports: []rtp.ArrivalInfo{{Seq: uint16(i), Received: true}}}
+		c.OnFeedback(fb, time.Duration(i)*200*time.Millisecond)
+	}
+	if c.TargetRate() <= 500*units.Kbps {
+		t.Fatalf("no growth: %v", c.TargetRate())
+	}
+}
+
+func TestHalvesOnLoss(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 5*units.Mbps)
+	fb := &rtp.Feedback{Reports: []rtp.ArrivalInfo{
+		{Seq: 1, Received: false}, {Seq: 2, Received: false}, {Seq: 3, Received: true},
+	}}
+	c.OnFeedback(fb, time.Second)
+	if c.TargetRate() != 500*units.Kbps {
+		t.Fatalf("rate = %v, want halved", c.TargetRate())
+	}
+}
+
+func TestIgnoresDelay(t *testing.T) {
+	// The whole point of the baseline: arbitrary delay, no reaction.
+	c := New(units.Mbps, 50*units.Kbps, 5*units.Mbps)
+	fb := &rtp.Feedback{Reports: []rtp.ArrivalInfo{
+		{Seq: 1, Received: true, Arrival: 10 * time.Second},
+	}}
+	c.OnFeedback(fb, time.Second)
+	if c.TargetRate() < units.Mbps {
+		t.Fatalf("delay caused decrease: %v", c.TargetRate())
+	}
+}
+
+func TestClampsToMax(t *testing.T) {
+	c := New(990*units.Kbps, 50*units.Kbps, units.Mbps)
+	for i := 0; i < 100; i++ {
+		fb := &rtp.Feedback{Reports: []rtp.ArrivalInfo{{Seq: uint16(i), Received: true}}}
+		c.OnFeedback(fb, time.Duration(i)*200*time.Millisecond)
+	}
+	if c.TargetRate() != units.Mbps {
+		t.Fatalf("rate = %v, want clamped at max", c.TargetRate())
+	}
+	if c.Name() != "loss-based" {
+		t.Fatal("name")
+	}
+	c.OnPacketSent(0, 0, 0) // no-op, must not panic
+}

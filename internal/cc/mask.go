@@ -1,0 +1,37 @@
+package cc
+
+import (
+	"time"
+
+	"athena/internal/rtp"
+)
+
+// MaskFeedback implements the §5.3 network-side mitigation: "the RAN could
+// mask RAN-induced delays through the congestion-control feedback channel
+// by modifying per-packet delay information as reported by ... RTCP
+// transport-wide congestion-control messages."
+//
+// It returns a copy of fb in which each received packet's arrival time has
+// the RAN-attributed delay subtracted. The sender's unmodified GCC then
+// sees the path as if the RAN had been transparent. ranDelay reports the
+// attribution for a sequence number (ok=false leaves the entry untouched).
+func MaskFeedback(fb *rtp.Feedback, ranDelay func(seq uint16) (time.Duration, bool)) *rtp.Feedback {
+	if fb == nil {
+		return nil
+	}
+	out := &rtp.Feedback{SSRC: fb.SSRC, Reports: make([]rtp.ArrivalInfo, len(fb.Reports))}
+	copy(out.Reports, fb.Reports)
+	if ranDelay == nil {
+		return out
+	}
+	for i := range out.Reports {
+		r := &out.Reports[i]
+		if !r.Received {
+			continue
+		}
+		if d, ok := ranDelay(r.Seq); ok && d > 0 {
+			r.Arrival -= d
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package nada implements a simplified NADA congestion controller
+// (Zhu & Pan, Packet Video 2013; RFC 8698): a unified delay-plus-loss
+// congestion signal driving accelerated ramp-up when the path is clean
+// and gradual rate adjustment otherwise.
+//
+// Simplifications relative to RFC 8698 (documented per DESIGN.md): no
+// ECN-based warping, no sender-side shared-bottleneck priority weighting,
+// and the non-linear warping of large delays is a single clamp. The
+// control-law structure (x_curr signal, x_ref set point, gradual update
+// proportional to the offset) follows the RFC.
+package nada
+
+import (
+	"time"
+
+	"athena/internal/cc"
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+// Control-law constants (RFC 8698 defaults, times in ms).
+const (
+	xRefMS        = 10.0   // reference congestion signal
+	tauMS         = 500.0  // target feedback interval
+	kappa         = 0.5    // gradual-mode scaling
+	etaMax        = 2.0    // accelerated ramp-up cap per interval
+	lossPenaltyMS = 1000.0 // delay-equivalent of 100% loss
+)
+
+// Controller is the NADA sender.
+type Controller struct {
+	hist     cc.History
+	rate     units.BitRate
+	min, max units.BitRate
+	loss     cc.LossEstimator
+
+	baseOWD  time.Duration
+	haveBase bool
+	lastFB   time.Duration
+	haveFB   bool
+
+	// xCurr is the most recent aggregate congestion signal (ms).
+	xCurr float64
+}
+
+var _ cc.Controller = (*Controller)(nil)
+
+// New creates a NADA controller.
+func New(initial, min, max units.BitRate) *Controller {
+	return &Controller{rate: initial, min: min, max: max}
+}
+
+// Name implements cc.Controller.
+func (c *Controller) Name() string { return "nada" }
+
+// OnPacketSent implements cc.Controller.
+func (c *Controller) OnPacketSent(seq uint16, size units.ByteCount, at time.Duration) {
+	c.hist.Add(cc.SentPacket{Seq: seq, Size: size, SentAt: at})
+}
+
+// OnFeedback implements cc.Controller.
+func (c *Controller) OnFeedback(fb *rtp.Feedback, now time.Duration) {
+	c.loss.Update(fb)
+	// Median queuing delay over the report (one-way delay minus the
+	// baseline minimum).
+	var qd []float64
+	for _, rep := range fb.Reports {
+		if !rep.Received {
+			continue
+		}
+		sent, ok := c.hist.Get(rep.Seq)
+		if !ok {
+			continue
+		}
+		owd := rep.Arrival - sent.SentAt
+		if !c.haveBase || owd < c.baseOWD {
+			c.baseOWD = owd
+			c.haveBase = true
+		}
+		qd = append(qd, float64(owd-c.baseOWD)/float64(time.Millisecond))
+	}
+	if len(qd) == 0 {
+		return
+	}
+	dq := median(qd)
+	// Non-linear warping: very large queueing delays saturate so a single
+	// spike cannot crater the rate.
+	if dq > 400 {
+		dq = 400
+	}
+	c.xCurr = dq + lossPenaltyMS*c.loss.Fraction()
+
+	delta := tauMS
+	if c.haveFB {
+		delta = float64(now-c.lastFB) / float64(time.Millisecond)
+		if delta <= 0 || delta > tauMS {
+			delta = tauMS
+		}
+	}
+	c.lastFB = now
+	c.haveFB = true
+
+	if c.xCurr < xRefMS/2 && c.loss.Fraction() == 0 {
+		// Accelerated ramp-up: clean path.
+		gamma := 0.05 * delta / tauMS * etaMax
+		c.rate = units.BitRate(float64(c.rate) * (1 + gamma))
+	} else {
+		// Gradual update: move the rate proportionally to the signal
+		// offset from the reference.
+		offset := xRefMS - c.xCurr // positive = below reference, grow
+		adj := kappa * (delta / tauMS) * (offset / tauMS) * float64(c.rate)
+		c.rate += units.BitRate(adj)
+	}
+	c.rate = units.ClampRate(c.rate, c.min, c.max)
+}
+
+// TargetRate implements cc.Controller.
+func (c *Controller) TargetRate() units.BitRate { return c.rate }
+
+// Signal reports the current aggregate congestion signal in ms
+// (diagnostics).
+func (c *Controller) Signal() float64 { return c.xCurr }
+
+func median(xs []float64) float64 {
+	// insertion sort; reports are small
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}

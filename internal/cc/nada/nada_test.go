@@ -1,0 +1,108 @@
+package nada
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+// drive feeds n packets with the given one-way-delay function, feedback
+// every 5 packets.
+func drive(c *Controller, n int, owd func(i int) time.Duration) {
+	var fb *rtp.Feedback
+	for i := 0; i < n; i++ {
+		seq := uint16(i)
+		send := time.Duration(i) * 20 * time.Millisecond
+		c.OnPacketSent(seq, 1200, send)
+		if fb == nil {
+			fb = &rtp.Feedback{SSRC: 1}
+		}
+		fb.Reports = append(fb.Reports, rtp.ArrivalInfo{Seq: seq, Received: true, Arrival: send + owd(i)})
+		if len(fb.Reports) == 5 {
+			c.OnFeedback(fb, send+100*time.Millisecond)
+			fb = nil
+		}
+	}
+}
+
+func TestNADARampUpOnCleanPath(t *testing.T) {
+	c := New(300*units.Kbps, 50*units.Kbps, 3*units.Mbps)
+	drive(c, 500, func(int) time.Duration { return 15 * time.Millisecond })
+	if c.TargetRate() <= 300*units.Kbps {
+		t.Fatalf("rate did not grow: %v", c.TargetRate())
+	}
+	if c.Signal() > 5 {
+		t.Fatalf("clean-path signal = %v ms", c.Signal())
+	}
+}
+
+func TestNADABacksOffOnQueueing(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 3*units.Mbps)
+	// Sustained 150ms queueing delay above baseline.
+	drive(c, 100, func(i int) time.Duration {
+		if i < 10 {
+			return 15 * time.Millisecond
+		}
+		return 165 * time.Millisecond
+	})
+	if c.TargetRate() >= units.Mbps {
+		t.Fatalf("rate did not decrease: %v", c.TargetRate())
+	}
+}
+
+func TestNADALossPenalty(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 3*units.Mbps)
+	var fb *rtp.Feedback
+	for i := 0; i < 200; i++ {
+		seq := uint16(i)
+		send := time.Duration(i) * 20 * time.Millisecond
+		c.OnPacketSent(seq, 1200, send)
+		if fb == nil {
+			fb = &rtp.Feedback{SSRC: 1}
+		}
+		fb.Reports = append(fb.Reports, rtp.ArrivalInfo{
+			Seq: seq, Received: i%3 != 0, // 33% loss
+			Arrival: send + 15*time.Millisecond,
+		})
+		if len(fb.Reports) == 5 {
+			c.OnFeedback(fb, send+100*time.Millisecond)
+			fb = nil
+		}
+	}
+	if c.TargetRate() >= units.Mbps {
+		t.Fatalf("loss did not reduce rate: %v", c.TargetRate())
+	}
+}
+
+func TestNADASpikeClamped(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 3*units.Mbps)
+	drive(c, 20, func(i int) time.Duration {
+		if i == 12 {
+			return 5 * time.Second // absurd spike
+		}
+		return 15 * time.Millisecond
+	})
+	// The warp clamp keeps one spike from flooring the rate.
+	if c.TargetRate() < 200*units.Kbps {
+		t.Fatalf("single spike floored rate: %v", c.TargetRate())
+	}
+}
+
+func TestNADAEmptyFeedback(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 3*units.Mbps)
+	c.OnFeedback(&rtp.Feedback{}, time.Second) // must not panic
+	if c.Name() != "nada" {
+		t.Fatal("name")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+}

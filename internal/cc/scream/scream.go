@@ -1,0 +1,120 @@
+// Package scream implements a simplified SCReAM congestion controller
+// (Johansson, SIGCOMM CSWS 2014; RFC 8298): a self-clocked, window-based
+// controller that keeps estimated queueing delay near a target.
+//
+// Simplifications (documented per DESIGN.md): the full RFC's send-window
+// pacing, competing-flow compensation, and fast-start phases are folded
+// into a single congestion-window law on the smoothed queue-delay
+// fraction; the window converts to a rate via the smoothed RTT, which is
+// what the simulated VCA consumes.
+package scream
+
+import (
+	"time"
+
+	"athena/internal/cc"
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+// Controller parameters.
+const (
+	qdelayTarget = 60 * time.Millisecond // RFC 8298 default target
+	gainUp       = 1.0                   // window growth per clean RTT (MSS)
+	betaLoss     = 0.8                   // multiplicative decrease on loss
+	mss          = 1200                  // bytes
+)
+
+// Controller is the SCReAM sender.
+type Controller struct {
+	hist     cc.History
+	min, max units.BitRate
+
+	cwnd     float64 // bytes
+	baseOWD  time.Duration
+	haveBase bool
+	srtt     time.Duration
+
+	lastRate units.BitRate
+}
+
+var _ cc.Controller = (*Controller)(nil)
+
+// New creates a SCReAM controller.
+func New(initial, min, max units.BitRate) *Controller {
+	c := &Controller{min: min, max: max, srtt: 50 * time.Millisecond}
+	// Seed the window so cwnd/srtt equals the initial rate.
+	c.cwnd = float64(initial) / 8 * c.srtt.Seconds()
+	c.lastRate = initial
+	return c
+}
+
+// Name implements cc.Controller.
+func (c *Controller) Name() string { return "scream" }
+
+// OnPacketSent implements cc.Controller.
+func (c *Controller) OnPacketSent(seq uint16, size units.ByteCount, at time.Duration) {
+	c.hist.Add(cc.SentPacket{Seq: seq, Size: size, SentAt: at})
+}
+
+// OnFeedback implements cc.Controller.
+func (c *Controller) OnFeedback(fb *rtp.Feedback, now time.Duration) {
+	var qdelaySum time.Duration
+	n := 0
+	lost := false
+	var ackedBytes float64
+	for _, rep := range fb.Reports {
+		if !rep.Received {
+			lost = true
+			continue
+		}
+		sent, ok := c.hist.Get(rep.Seq)
+		if !ok {
+			continue
+		}
+		owd := rep.Arrival - sent.SentAt
+		if !c.haveBase || owd < c.baseOWD {
+			c.baseOWD = owd
+			c.haveBase = true
+		}
+		qdelaySum += owd - c.baseOWD
+		n++
+		ackedBytes += float64(sent.Size)
+		// Approximate RTT from OWD (feedback path is the low-jitter
+		// direction in this testbed).
+		rtt := 2 * owd
+		c.srtt = time.Duration(0.9*float64(c.srtt) + 0.1*float64(rtt))
+	}
+	if n == 0 {
+		return
+	}
+	qdelay := qdelaySum / time.Duration(n)
+
+	switch {
+	case lost:
+		c.cwnd *= betaLoss
+	case qdelay <= qdelayTarget:
+		// Below target: grow proportionally to acked data, scaled by how
+		// far below target we are.
+		headroom := 1 - float64(qdelay)/float64(qdelayTarget)
+		c.cwnd += gainUp * mss * headroom * (ackedBytes / c.cwnd)
+	default:
+		// Above target: shrink proportionally to the overshoot.
+		over := float64(qdelay)/float64(qdelayTarget) - 1
+		if over > 1 {
+			over = 1
+		}
+		c.cwnd *= 1 - 0.2*over
+	}
+	if c.cwnd < 2*mss {
+		c.cwnd = 2 * mss
+	}
+	rate := units.BitRate(c.cwnd * 8 / c.srtt.Seconds())
+	c.lastRate = units.ClampRate(rate, c.min, c.max)
+}
+
+// TargetRate implements cc.Controller.
+func (c *Controller) TargetRate() units.BitRate { return c.lastRate }
+
+// QueueDelayTarget reports the configured target (diagnostics).
+func (c *Controller) QueueDelayTarget() time.Duration { return qdelayTarget }

@@ -1,0 +1,84 @@
+package scream
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+func drive(c *Controller, n int, owd func(i int) time.Duration, recv func(i int) bool) {
+	var fb *rtp.Feedback
+	for i := 0; i < n; i++ {
+		seq := uint16(i)
+		send := time.Duration(i) * 20 * time.Millisecond
+		c.OnPacketSent(seq, 1200, send)
+		if fb == nil {
+			fb = &rtp.Feedback{SSRC: 1}
+		}
+		ok := recv == nil || recv(i)
+		ai := rtp.ArrivalInfo{Seq: seq, Received: ok}
+		if ok {
+			ai.Arrival = send + owd(i)
+		}
+		fb.Reports = append(fb.Reports, ai)
+		if len(fb.Reports) == 5 {
+			c.OnFeedback(fb, send+100*time.Millisecond)
+			fb = nil
+		}
+	}
+}
+
+func TestSCReAMGrowsBelowTarget(t *testing.T) {
+	c := New(300*units.Kbps, 50*units.Kbps, 5*units.Mbps)
+	drive(c, 500, func(int) time.Duration { return 15 * time.Millisecond }, nil)
+	if c.TargetRate() <= 300*units.Kbps {
+		t.Fatalf("rate did not grow: %v", c.TargetRate())
+	}
+}
+
+func TestSCReAMShrinksAboveTarget(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 5*units.Mbps)
+	drive(c, 300, func(i int) time.Duration {
+		if i < 10 {
+			return 15 * time.Millisecond
+		}
+		return 15*time.Millisecond + c.QueueDelayTarget()*3
+	}, nil)
+	if c.TargetRate() >= units.Mbps {
+		t.Fatalf("rate did not shrink: %v", c.TargetRate())
+	}
+}
+
+func TestSCReAMLossDecrease(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 5*units.Mbps)
+	drive(c, 200, func(int) time.Duration { return 15 * time.Millisecond },
+		func(i int) bool { return i%4 != 0 })
+	if c.TargetRate() >= units.Mbps {
+		t.Fatalf("loss did not shrink rate: %v", c.TargetRate())
+	}
+}
+
+func TestSCReAMWindowFloor(t *testing.T) {
+	c := New(100*units.Kbps, 10*units.Kbps, 5*units.Mbps)
+	drive(c, 400, func(int) time.Duration { return time.Second }, nil)
+	if c.cwnd < 2*mss {
+		t.Fatalf("cwnd below floor: %v", c.cwnd)
+	}
+	if c.TargetRate() < 10*units.Kbps {
+		t.Fatalf("rate below min: %v", c.TargetRate())
+	}
+}
+
+func TestSCReAMEmptyFeedback(t *testing.T) {
+	c := New(units.Mbps, 50*units.Kbps, 5*units.Mbps)
+	r0 := c.TargetRate()
+	c.OnFeedback(&rtp.Feedback{}, time.Second)
+	if c.TargetRate() != r0 {
+		t.Fatal("empty feedback changed rate")
+	}
+	if c.Name() != "scream" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,129 @@
+// Package clock models per-host wall clocks and the NTP-style
+// synchronization Athena performs before correlating captures taken on
+// different machines.
+//
+// Every host in the testbed (sender UE, mobile core, SFU, receiver, and the
+// NG-Scope telemetry box) timestamps events with its own clock, which is
+// offset — and slowly drifting — relative to true simulation time. The
+// paper's methodology NTP-synchronizes all hosts; Athena's correlator then
+// removes residual offsets using probe exchanges. This package provides
+// both halves: the error source (HostClock) and the corrector (SyncEstimator).
+package clock
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// HostClock converts between true simulation time and a host's local
+// wall-clock reading. Offset is the local-minus-true difference at t=0 and
+// DriftPPM is the frequency error in parts per million (positive means the
+// local clock runs fast).
+type HostClock struct {
+	Name     string
+	Offset   time.Duration
+	DriftPPM float64
+}
+
+// Read reports the host's local timestamp for true time t.
+func (c *HostClock) Read(t time.Duration) time.Duration {
+	drift := time.Duration(float64(t) * c.DriftPPM / 1e6)
+	return t + c.Offset + drift
+}
+
+// TrueTime inverts Read: given a local timestamp, recover true time.
+func (c *HostClock) TrueTime(local time.Duration) time.Duration {
+	// local = t*(1+ppm/1e6) + offset  =>  t = (local-offset)/(1+ppm/1e6)
+	return time.Duration(float64(local-c.Offset) / (1 + c.DriftPPM/1e6))
+}
+
+// String identifies the clock and its error parameters.
+func (c *HostClock) String() string {
+	return fmt.Sprintf("clock(%s offset=%v drift=%.1fppm)", c.Name, c.Offset, c.DriftPPM)
+}
+
+// Perfect returns a clock with no error, used for the reference host.
+func Perfect(name string) *HostClock { return &HostClock{Name: name} }
+
+// ProbeSample is one two-way probe exchange between a reference host and a
+// remote host, carrying the four NTP timestamps (all in the respective
+// host's local clock).
+type ProbeSample struct {
+	// T1: reference sends; T2: remote receives; T3: remote replies;
+	// T4: reference receives the reply.
+	T1, T2, T3, T4 time.Duration
+}
+
+// Offset estimates remote-minus-reference clock offset from the exchange,
+// assuming a symmetric path (the standard NTP estimator).
+func (p ProbeSample) Offset() time.Duration {
+	return ((p.T2 - p.T1) + (p.T3 - p.T4)) / 2
+}
+
+// RTT reports the round-trip time excluding remote processing.
+func (p ProbeSample) RTT() time.Duration {
+	return (p.T4 - p.T1) - (p.T3 - p.T2)
+}
+
+// SyncEstimator accumulates probe exchanges and estimates a stable clock
+// offset for one remote host. Following NTP practice it prefers the
+// samples with the smallest RTT, where queueing asymmetry — the dominant
+// error on the 5G uplink — is least.
+type SyncEstimator struct {
+	samples []ProbeSample
+}
+
+// Add records one probe exchange.
+func (e *SyncEstimator) Add(s ProbeSample) { e.samples = append(e.samples, s) }
+
+// Len reports the number of recorded exchanges.
+func (e *SyncEstimator) Len() int { return len(e.samples) }
+
+// Estimate returns the offset estimate: the mean offset of the
+// lowest-RTT decile of samples (at least one sample). ok is false if no
+// samples were recorded.
+func (e *SyncEstimator) Estimate() (offset time.Duration, ok bool) {
+	if len(e.samples) == 0 {
+		return 0, false
+	}
+	// Find the RTT threshold at the 10th percentile.
+	best := make([]ProbeSample, len(e.samples))
+	copy(best, e.samples)
+	// Simple selection: sort by RTT.
+	sortByRTT(best)
+	k := len(best) / 10
+	if k < 1 {
+		k = 1
+	}
+	var sum time.Duration
+	for _, s := range best[:k] {
+		sum += s.Offset()
+	}
+	return sum / time.Duration(k), true
+}
+
+func sortByRTT(s []ProbeSample) {
+	// Insertion sort: sample counts are small and this keeps the package
+	// free of sort.Slice allocations in the hot path.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].RTT() < s[j-1].RTT(); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ErrorBound reports a crude uncertainty for the estimate: half the RTT of
+// the best sample, the classical NTP bound.
+func (e *SyncEstimator) ErrorBound() time.Duration {
+	if len(e.samples) == 0 {
+		return math.MaxInt64
+	}
+	best := e.samples[0].RTT()
+	for _, s := range e.samples[1:] {
+		if r := s.RTT(); r < best {
+			best = r
+		}
+	}
+	return best / 2
+}

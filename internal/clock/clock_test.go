@@ -1,0 +1,191 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPerfectClockIdentity(t *testing.T) {
+	c := Perfect("ref")
+	for _, tt := range []time.Duration{0, time.Second, time.Hour} {
+		if c.Read(tt) != tt {
+			t.Fatalf("Read(%v) = %v", tt, c.Read(tt))
+		}
+	}
+}
+
+func TestOffsetClock(t *testing.T) {
+	c := &HostClock{Name: "a", Offset: 5 * time.Millisecond}
+	if got := c.Read(time.Second); got != time.Second+5*time.Millisecond {
+		t.Fatalf("Read = %v", got)
+	}
+}
+
+func TestDriftClock(t *testing.T) {
+	c := &HostClock{Name: "a", DriftPPM: 100} // 100 us per second fast
+	got := c.Read(time.Second)
+	want := time.Second + 100*time.Microsecond
+	if got != want {
+		t.Fatalf("Read = %v, want %v", got, want)
+	}
+}
+
+func TestTrueTimeInvertsRead(t *testing.T) {
+	f := func(offsetMs int16, driftPPM int8, seconds uint16) bool {
+		c := &HostClock{
+			Offset:   time.Duration(offsetMs) * time.Millisecond,
+			DriftPPM: float64(driftPPM),
+		}
+		tt := time.Duration(seconds) * time.Second
+		back := c.TrueTime(c.Read(tt))
+		diff := back - tt
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockString(t *testing.T) {
+	c := &HostClock{Name: "ue", Offset: time.Millisecond, DriftPPM: 2}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestProbeSampleOffsetSymmetric(t *testing.T) {
+	// Remote clock is +10ms; both path directions take 5ms.
+	off := 10 * time.Millisecond
+	owd := 5 * time.Millisecond
+	p := ProbeSample{
+		T1: 0,
+		T2: owd + off, // remote receives at true owd, stamps local
+		T3: owd + off, // immediate reply
+		T4: 2 * owd,   // reference receives
+	}
+	if got := p.Offset(); got != off {
+		t.Fatalf("Offset = %v, want %v", got, off)
+	}
+	if got := p.RTT(); got != 2*owd {
+		t.Fatalf("RTT = %v, want %v", got, 2*owd)
+	}
+}
+
+func TestProbeSampleAsymmetryBiasesOffset(t *testing.T) {
+	// Uplink 15ms, downlink 5ms, true offset 0: the estimator reports
+	// +5ms ((15-5)/2) — the known NTP asymmetry bias.
+	p := ProbeSample{T1: 0, T2: 15 * time.Millisecond, T3: 15 * time.Millisecond, T4: 20 * time.Millisecond}
+	if got := p.Offset(); got != 5*time.Millisecond {
+		t.Fatalf("Offset = %v, want 5ms", got)
+	}
+}
+
+func TestSyncEstimatorEmpty(t *testing.T) {
+	var e SyncEstimator
+	if _, ok := e.Estimate(); ok {
+		t.Fatal("Estimate on empty should fail")
+	}
+	if e.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+}
+
+func TestSyncEstimatorPrefersLowRTT(t *testing.T) {
+	var e SyncEstimator
+	trueOffset := 10 * time.Millisecond
+	// Many high-RTT, asymmetric samples with biased offsets.
+	for i := 0; i < 50; i++ {
+		up := time.Duration(20+i) * time.Millisecond // inflated uplink
+		e.Add(ProbeSample{
+			T1: 0,
+			T2: up + trueOffset,
+			T3: up + trueOffset,
+			T4: up + 5*time.Millisecond,
+		})
+	}
+	// A few clean symmetric low-RTT samples.
+	for i := 0; i < 6; i++ {
+		e.Add(ProbeSample{
+			T1: 0,
+			T2: 2*time.Millisecond + trueOffset,
+			T3: 2*time.Millisecond + trueOffset,
+			T4: 4 * time.Millisecond,
+		})
+	}
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("Estimate failed")
+	}
+	diff := got - trueOffset
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("Estimate = %v, want ~%v", got, trueOffset)
+	}
+}
+
+func TestSyncEstimatorSingleSample(t *testing.T) {
+	var e SyncEstimator
+	e.Add(ProbeSample{T1: 0, T2: 7 * time.Millisecond, T3: 7 * time.Millisecond, T4: 4 * time.Millisecond})
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("single-sample estimate should succeed")
+	}
+	want := ((7*time.Millisecond - 0) + (7*time.Millisecond - 4*time.Millisecond)) / 2
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	var e SyncEstimator
+	e.Add(ProbeSample{T1: 0, T2: 10 * time.Millisecond, T3: 10 * time.Millisecond, T4: 8 * time.Millisecond})
+	e.Add(ProbeSample{T1: 0, T2: 10 * time.Millisecond, T3: 10 * time.Millisecond, T4: 4 * time.Millisecond})
+	if got := e.ErrorBound(); got != 2*time.Millisecond {
+		t.Fatalf("ErrorBound = %v, want 2ms", got)
+	}
+}
+
+// End-to-end: simulate probe exchanges between a perfect reference and a
+// drifting remote over a jittery path and verify the estimator recovers
+// the offset within the error bound.
+func TestSyncEstimatorEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	remote := &HostClock{Name: "remote", Offset: -3 * time.Millisecond, DriftPPM: 5}
+	var e SyncEstimator
+	for i := 0; i < 200; i++ {
+		sendAt := time.Duration(i) * 20 * time.Millisecond
+		up := 2*time.Millisecond + time.Duration(rng.Int63n(int64(8*time.Millisecond)))
+		down := 2*time.Millisecond + time.Duration(rng.Int63n(int64(2*time.Millisecond)))
+		arrive := sendAt + up
+		depart := arrive
+		back := depart + down
+		e.Add(ProbeSample{
+			T1: sendAt,
+			T2: remote.Read(arrive),
+			T3: remote.Read(depart),
+			T4: back,
+		})
+	}
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("estimate failed")
+	}
+	// True offset near mid-experiment (~2s in, drift adds ~10us).
+	diff := got - (-3 * time.Millisecond)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 4*time.Millisecond {
+		t.Fatalf("estimate %v too far from -3ms", got)
+	}
+	if diff > e.ErrorBound()+time.Millisecond {
+		t.Fatalf("estimate error %v exceeds bound %v", diff, e.ErrorBound())
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/stats"
+)
+
+// Cause labels a delay component in the root-cause breakdown.
+type Cause string
+
+// Root causes Athena attributes uplink and downstream delay to.
+const (
+	CauseQueueSlot Cause = "ue-queue+slot-alignment"
+	CauseBSR       Cause = "bsr-scheduling-wait"
+	CauseHARQ      Cause = "harq-retransmission"
+	CauseWAN       Cause = "wan-propagation"
+	CauseSFU       Cause = "sfu-app-processing"
+)
+
+// Attribution is an aggregate root-cause breakdown over a report.
+type Attribution struct {
+	// TotalMS sums each cause's contribution across packets (ms).
+	TotalMS map[Cause]float64
+	// Packets is the number of packets with uplink attribution.
+	Packets int
+	// RetxAffected counts packets whose delay includes HARQ inflation.
+	RetxAffected int
+	// BSRServed counts packets whose last bytes rode a requested grant.
+	BSRServed int
+}
+
+// Attribute computes the aggregate breakdown.
+func (r *Report) Attribute() Attribution {
+	a := Attribution{TotalMS: make(map[Cause]float64)}
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, v := range r.Packets {
+		if !v.SeenCore || len(v.TBIDs) == 0 {
+			continue
+		}
+		a.Packets++
+		nonBSR := v.QueueWait - v.BSRWait
+		a.TotalMS[CauseQueueSlot] += msOf(nonBSR)
+		a.TotalMS[CauseBSR] += msOf(v.BSRWait)
+		a.TotalMS[CauseHARQ] += msOf(v.HARQDelay)
+		if v.HARQDelay > 0 {
+			a.RetxAffected++
+		}
+		if v.BSRWait > 0 {
+			a.BSRServed++
+		}
+		if v.SeenRecv {
+			a.TotalMS[CauseWAN] += msOf(v.WANDelay - v.SFUDelay)
+			a.TotalMS[CauseSFU] += msOf(v.SFUDelay)
+		}
+	}
+	return a
+}
+
+// MeanMS reports the average per-packet contribution of a cause.
+func (a Attribution) MeanMS(c Cause) float64 {
+	if a.Packets == 0 {
+		return 0
+	}
+	return a.TotalMS[c] / float64(a.Packets)
+}
+
+// String renders a table of mean contributions.
+func (a Attribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root-cause attribution over %d packets (mean ms/packet):\n", a.Packets)
+	for _, c := range []Cause{CauseQueueSlot, CauseBSR, CauseHARQ, CauseWAN, CauseSFU} {
+		fmt.Fprintf(&b, "  %-26s %8.3f\n", c, a.MeanMS(c))
+	}
+	fmt.Fprintf(&b, "  packets with HARQ inflation: %d; served by BSR grant: %d\n",
+		a.RetxAffected, a.BSRServed)
+	return b.String()
+}
+
+// MatchAccuracy scores the correlator's packet↔TB matching against the
+// simulator's ground truth: the fraction of packets whose inferred TB set
+// exactly equals the true one. truth maps (flow,seq,kind) → TB ids.
+func (r *Report) MatchAccuracy(truth map[uint64][]uint64, idOf func(flow, seq uint32, kind packet.Kind) (uint64, bool)) float64 {
+	total, correct := 0, 0
+	for _, v := range r.Packets {
+		id, ok := idOf(v.Flow, v.Seq, v.Kind)
+		if !ok {
+			continue
+		}
+		want := truth[id]
+		if len(want) == 0 {
+			continue
+		}
+		total++
+		if equalIDs(v.TBIDs, want) {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[uint64]int, len(a))
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		if seen[x] == 0 {
+			return false
+		}
+		seen[x]--
+	}
+	return true
+}
+
+// DelaySummary summarizes uplink delays by kind (diagnostics).
+func (r *Report) DelaySummary(kind packet.Kind) stats.Summary {
+	return stats.Summarize(r.ULDelaysMS(kind))
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/clock"
+	"athena/internal/ran"
+)
+
+func BenchmarkCorrelate(b *testing.B) {
+	// One fixed 5-second session, correlated repeatedly: measures the
+	// offline pipeline's throughput (≈4.5k packets + 10k TB attempts).
+	bed := runBed(b, ran.SchedCombined, 0.05,
+		clock.Perfect("s"), clock.Perfect("c"), 5*time.Second)
+	in := bed.input(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Correlate(in)
+		if len(rep.Packets) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}

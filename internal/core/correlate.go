@@ -1,0 +1,294 @@
+// Package core implements the Athena correlator — the paper's primary
+// contribution: it time-synchronizes packet captures taken at the sender,
+// mobile core, SFU and receiver, aligns them with the NG-Scope-style
+// per-transport-block PHY telemetry, groups packets into application-layer
+// frames and audio samples, and attributes each packet's one-way delay to
+// its root cause (UE queueing/slot alignment, BSR scheduling wait, HARQ
+// retransmission, WAN propagation, SFU application-layer processing).
+//
+// The correlator works only from information a real deployment has:
+// pcap-visible header fields, sniffer-visible TB records, cell
+// configuration, and NTP/probe-derived clock offsets. The simulator's
+// ground truth is used exclusively by the test suite to score it.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/telemetry"
+)
+
+// Input is everything the correlator consumes for one monitored session.
+type Input struct {
+	// Captures by point. Sender and Core are required for uplink
+	// analysis; SFU and Receiver enable end-to-end attribution.
+	Sender, Core, SFU, Receiver []packet.Record
+
+	// TBs is the sniffer view of the monitored UE's transport blocks
+	// (all HARQ attempts).
+	TBs []telemetry.TBRecord
+
+	// Offsets are the estimated clock offsets (local minus true) for each
+	// capture point, from NTP/probe synchronization. Missing points are
+	// assumed perfectly synchronized.
+	Offsets map[packet.Point]time.Duration
+
+	// SlotDuration and HARQRTT come from the (known) cell configuration.
+	SlotDuration time.Duration
+	CoreDelay    time.Duration
+
+	// MatchTolerance loosens the packet↔TB causality check to absorb
+	// residual clock error; zero means the default 5 ms (NTP-grade).
+	MatchTolerance time.Duration
+
+	// ProbeOWDBaseline is the median probe one-way delay core→receiver
+	// path; used to split WAN propagation from SFU processing.
+	ProbeOWDBaseline time.Duration
+}
+
+// PacketView is the correlator's per-packet output.
+type PacketView struct {
+	Flow uint32
+	Seq  uint32
+	Kind packet.Kind
+
+	// Corrected (true-time) observations.
+	SentAt     time.Duration
+	CoreAt     time.Duration
+	ReceiverAt time.Duration
+	SeenCore   bool
+	SeenRecv   bool
+
+	// Uplink analysis.
+	ULDelay   time.Duration // SentAt → CoreAt
+	TBIDs     []uint64      // transport blocks inferred to carry this packet
+	GrantKind telemetry.GrantKind
+	QueueWait time.Duration // send → first carrying TB transmission
+	BSRWait   time.Duration // portion waiting on a requested grant
+	HARQDelay time.Duration // inflation from retransmissions
+
+	// Downstream analysis.
+	WANDelay time.Duration // CoreAt → ReceiverAt
+	SFUDelay time.Duration // WANDelay minus the probe baseline
+
+	// RTP grouping inputs.
+	SSRC    uint32
+	RTPTime uint32
+	Marker  bool
+}
+
+// Report is the correlator's output.
+type Report struct {
+	Packets []PacketView
+	Frames  []FrameView
+	// byKey indexes Packets for tests and downstream tools.
+	byKey map[pktKey]int
+}
+
+type pktKey struct {
+	flow uint32
+	seq  uint32
+	kind packet.Kind
+}
+
+// Packet looks up the view for a specific packet.
+func (r *Report) Packet(flow, seq uint32, kind packet.Kind) (PacketView, bool) {
+	i, ok := r.byKey[pktKey{flow, seq, kind}]
+	if !ok {
+		return PacketView{}, false
+	}
+	return r.Packets[i], true
+}
+
+// tbProcess is one TB's HARQ lifecycle reconstructed from attempts.
+type tbProcess struct {
+	id        uint64
+	initialAt time.Duration
+	finalAt   time.Duration // last (successful) attempt
+	used      int64
+	grant     telemetry.GrantKind
+	rounds    int
+	abandoned bool
+}
+
+// Correlate runs the full pipeline.
+func Correlate(in Input) *Report {
+	rep := &Report{byKey: make(map[pktKey]int)}
+	off := func(p packet.Point) time.Duration {
+		if in.Offsets == nil {
+			return 0
+		}
+		return in.Offsets[p]
+	}
+
+	// 1. Build per-packet views from the sender capture (the session's
+	//    send order), correcting clocks.
+	senderRecs := packet.SortedByTime(in.Sender)
+	for _, r := range senderRecs {
+		v := PacketView{
+			Flow: r.Flow, Seq: r.Seq, Kind: r.Kind,
+			SentAt:  r.LocalTime - off(packet.PointSender),
+			SSRC:    r.SSRC,
+			RTPTime: r.RTPTime,
+			Marker:  r.Marker,
+		}
+		rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}] = len(rep.Packets)
+		rep.Packets = append(rep.Packets, v)
+	}
+
+	// 2. Join the core and receiver captures.
+	for _, r := range in.Core {
+		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
+			v := &rep.Packets[i]
+			v.CoreAt = r.LocalTime - off(packet.PointCore)
+			v.SeenCore = true
+			v.ULDelay = v.CoreAt - v.SentAt
+		}
+	}
+	for _, r := range in.Receiver {
+		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
+			v := &rep.Packets[i]
+			v.ReceiverAt = r.LocalTime - off(packet.PointReceiver)
+			v.SeenRecv = true
+			if v.SeenCore {
+				v.WANDelay = v.ReceiverAt - v.CoreAt
+				if in.ProbeOWDBaseline > 0 {
+					v.SFUDelay = v.WANDelay - in.ProbeOWDBaseline
+					if v.SFUDelay < 0 {
+						v.SFUDelay = 0
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Match packets to transport blocks and attribute uplink delay.
+	matchTBs(rep, in, senderRecs, off(packet.PointSender))
+
+	// 4. Group packets into frames/samples and compute delay spreads.
+	rep.Frames = groupFrames(rep.Packets)
+
+	return rep
+}
+
+// matchTBs reconstructs the UE buffer's FIFO service order: packets enter
+// in sender-capture order; successful TBs drain UsedBytes each in
+// transmission order. Byte conservation plus causality (a TB cannot carry
+// a packet sent after the TB's transmission) pins down the mapping — the
+// same reasoning Fig 9's dashed packet↔TB lines encode.
+func matchTBs(rep *Report, in Input, senderRecs []packet.Record, senderOff time.Duration) {
+	if len(in.TBs) == 0 {
+		return
+	}
+	procs := reconstructTBs(in.TBs)
+	tol := in.MatchTolerance
+	if tol == 0 {
+		tol = 5 * time.Millisecond
+	}
+
+	type fifoEntry struct {
+		idx       int // index into rep.Packets
+		remaining int64
+		sentAt    time.Duration
+	}
+	var fifo []fifoEntry
+	for _, r := range senderRecs {
+		i := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
+		fifo = append(fifo, fifoEntry{idx: i, remaining: int64(r.Size), sentAt: rep.Packets[i].SentAt})
+	}
+
+	type carry struct {
+		firstTB, lastTB *tbProcess
+	}
+	carries := make(map[int]*carry)
+
+	head := 0
+	for pi := range procs {
+		tb := &procs[pi]
+		if tb.abandoned {
+			continue
+		}
+		budget := tb.used
+		for budget > 0 && head < len(fifo) {
+			e := &fifo[head]
+			// Causality: this TB cannot carry a packet sent after its
+			// transmission (within the sync tolerance plus a slot).
+			if e.sentAt > tb.initialAt+in.SlotDuration+tol {
+				break
+			}
+			take := e.remaining
+			if take > budget {
+				take = budget
+			}
+			e.remaining -= take
+			budget -= take
+			c := carries[e.idx]
+			if c == nil {
+				c = &carry{firstTB: tb}
+				carries[e.idx] = c
+			}
+			c.lastTB = tb
+			v := &rep.Packets[e.idx]
+			v.TBIDs = append(v.TBIDs, tb.id)
+			if e.remaining == 0 {
+				head++
+			}
+		}
+	}
+
+	for idx, c := range carries {
+		v := &rep.Packets[idx]
+		v.GrantKind = c.lastTB.grant
+		v.QueueWait = c.lastTB.initialAt - v.SentAt
+		if v.QueueWait < 0 {
+			v.QueueWait = 0
+		}
+		if c.lastTB.grant == telemetry.GrantRequested {
+			v.BSRWait = v.QueueWait
+		}
+		// HARQ inflation: the completion-determining TB's retransmission
+		// span.
+		slowest := c.firstTB
+		for _, tb := range []*tbProcess{c.firstTB, c.lastTB} {
+			if tb.finalAt > slowest.finalAt {
+				slowest = tb
+			}
+		}
+		v.HARQDelay = slowest.finalAt - slowest.initialAt
+	}
+}
+
+// reconstructTBs groups attempt records into per-TB HARQ processes,
+// ordered by initial transmission time.
+func reconstructTBs(recs []telemetry.TBRecord) []tbProcess {
+	byID := make(map[uint64]*tbProcess)
+	var order []uint64
+	for _, r := range recs {
+		p := byID[r.TBID]
+		if p == nil {
+			p = &tbProcess{id: r.TBID, initialAt: r.At, finalAt: r.At, used: int64(r.UsedBytes), grant: r.Grant}
+			byID[r.TBID] = p
+			order = append(order, r.TBID)
+		}
+		if r.At < p.initialAt {
+			p.initialAt = r.At
+		}
+		if r.At > p.finalAt {
+			p.finalAt = r.At
+		}
+		if r.HARQRound >= p.rounds {
+			p.rounds = r.HARQRound
+			// The process's fate is its latest attempt's: a failed final
+			// attempt means HARQ gave up and the bytes never arrived.
+			p.abandoned = r.Failed
+		}
+	}
+	out := make([]tbProcess, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].initialAt < out[j].initialAt })
+	return out
+}

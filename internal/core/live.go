@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/telemetry"
+)
+
+// LiveCorrelator is the streaming form of Correlate, for the paper's §5.1
+// vision of "continuous, fine-grained measurement" feeding higher layers
+// in real time: capture records and TB telemetry arrive incrementally,
+// and fully-resolved packet views are emitted once a packet's fate is
+// settled (observed at the core and matched to its transport blocks, or
+// given up on after the flush horizon).
+//
+// Internally it re-runs the batch pipeline over a sliding window — the
+// batch correlator is cheap enough that clarity beats an incremental
+// reimplementation — but the emission contract (each packet exactly once,
+// in send order, only when resolvable) is what a live consumer such as a
+// PHY-aware congestion controller needs.
+type LiveCorrelator struct {
+	in Input
+
+	// FlushAfter is how long after its send time a packet may remain
+	// unresolved before being emitted as-is (lost or unmatchable).
+	FlushAfter time.Duration
+
+	// Emit receives resolved packet views in send order.
+	Emit func(PacketView)
+
+	sender  []packet.Record
+	core    []packet.Record
+	tbs     []telemetry.TBRecord
+	emitted int // prefix of send-ordered packets already emitted
+}
+
+// NewLive creates a live correlator with the same configuration fields as
+// the batch Input (captures inside `in` are ignored; feed records through
+// the On* methods).
+func NewLive(in Input, emit func(PacketView)) *LiveCorrelator {
+	in.Sender, in.Core, in.SFU, in.Receiver = nil, nil, nil, nil
+	return &LiveCorrelator{
+		in:         in,
+		FlushAfter: 500 * time.Millisecond,
+		Emit:       emit,
+	}
+}
+
+// OnSenderRecord feeds a point-① capture record. Records must arrive in
+// capture order.
+func (lc *LiveCorrelator) OnSenderRecord(r packet.Record) {
+	lc.sender = append(lc.sender, r)
+}
+
+// OnCoreRecord feeds a point-② capture record.
+func (lc *LiveCorrelator) OnCoreRecord(r packet.Record) {
+	lc.core = append(lc.core, r)
+}
+
+// OnTB feeds one TB telemetry record (any HARQ attempt).
+func (lc *LiveCorrelator) OnTB(r telemetry.TBRecord) {
+	lc.tbs = append(lc.tbs, r)
+}
+
+// Advance declares that the live clock reached now: every packet sent
+// before now-FlushAfter is resolved (or given up on) and emitted.
+func (lc *LiveCorrelator) Advance(now time.Duration) {
+	if len(lc.sender) == 0 || lc.emitted >= len(lc.sender) {
+		return
+	}
+	horizon := now - lc.FlushAfter
+
+	in := lc.in
+	in.Sender = lc.sender
+	in.Core = lc.core
+	in.TBs = lc.tbs
+	rep := Correlate(in)
+
+	// Emit, in send order, every not-yet-emitted packet that is either
+	// fully resolved (seen at the core with TBs matched) or past the
+	// flush horizon.
+	senderOff := time.Duration(0)
+	if lc.in.Offsets != nil {
+		senderOff = lc.in.Offsets[packet.PointSender]
+	}
+	for lc.emitted < len(lc.sender) {
+		r := lc.sender[lc.emitted]
+		v, ok := rep.Packet(r.Flow, r.Seq, r.Kind)
+		if !ok {
+			break
+		}
+		resolved := v.SeenCore && (len(v.TBIDs) > 0 || len(lc.tbs) == 0)
+		expired := r.LocalTime-senderOff <= horizon
+		if !resolved && !expired {
+			break
+		}
+		if lc.Emit != nil {
+			lc.Emit(v)
+		}
+		lc.emitted++
+	}
+
+	// Trim state that can no longer influence unemitted packets.
+	lc.trim(horizon)
+}
+
+// trim discards consumed state so memory stays bounded on long sessions.
+// It only fires when every fed packet has been emitted: at that point the
+// FIFO byte matcher owes nothing to the old records, and the causality
+// check keeps any retained old TB from being mis-assigned to packets sent
+// later.
+func (lc *LiveCorrelator) trim(horizon time.Duration) {
+	if lc.Pending() != 0 {
+		return
+	}
+	lc.sender = lc.sender[:0]
+	lc.core = lc.core[:0]
+	lc.emitted = 0
+	keepFrom := horizon - time.Second
+	tbCut := 0
+	for tbCut < len(lc.tbs) && lc.tbs[tbCut].At < keepFrom {
+		tbCut++
+	}
+	lc.tbs = lc.tbs[tbCut:]
+}
+
+// Pending reports how many fed packets await emission.
+func (lc *LiveCorrelator) Pending() int { return len(lc.sender) - lc.emitted }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/clock"
+	"athena/internal/packet"
+	"athena/internal/ran"
+)
+
+// liveBed runs the same workload as runBed but streams records into a
+// LiveCorrelator as they are produced.
+func runLive(t *testing.T, dur time.Duration, flush time.Duration) (views []PacketView, bed *testbed) {
+	t.Helper()
+	bed = runBed(t, ran.SchedCombined, 0, clock.Perfect("s"), clock.Perfect("c"), dur)
+	lc := NewLive(Input{
+		SlotDuration: bed.r.Cfg.SlotDuration,
+		CoreDelay:    bed.r.Cfg.CoreDelay,
+	}, func(v PacketView) { views = append(views, v) })
+	if flush > 0 {
+		lc.FlushAfter = flush
+	}
+	// Replay the captures in timestamp order in 100 ms steps, as a live
+	// tap would deliver them.
+	senderIdx, coreIdx, tbIdx := 0, 0, 0
+	tbs := bed.r.Telemetry.ForUE(1)
+	for now := time.Duration(0); now < dur+2*time.Second; now += 100 * time.Millisecond {
+		for senderIdx < len(bed.capSend.Records) && bed.capSend.Records[senderIdx].LocalTime <= now {
+			lc.OnSenderRecord(bed.capSend.Records[senderIdx])
+			senderIdx++
+		}
+		for coreIdx < len(bed.capCore.Records) && bed.capCore.Records[coreIdx].LocalTime <= now {
+			lc.OnCoreRecord(bed.capCore.Records[coreIdx])
+			coreIdx++
+		}
+		for tbIdx < len(tbs) && tbs[tbIdx].At <= now {
+			lc.OnTB(tbs[tbIdx])
+			tbIdx++
+		}
+		lc.Advance(now)
+	}
+	return views, bed
+}
+
+func TestLiveEmitsAllExactlyOnceInOrder(t *testing.T) {
+	views, bed := runLive(t, 2*time.Second, 0)
+	if len(views) != len(bed.capSend.Records) {
+		t.Fatalf("emitted %d views for %d sent packets", len(views), len(bed.capSend.Records))
+	}
+	seen := map[pktKey]bool{}
+	var lastSent time.Duration
+	for _, v := range views {
+		k := pktKey{v.Flow, v.Seq, v.Kind}
+		if seen[k] {
+			t.Fatalf("packet %+v emitted twice", k)
+		}
+		seen[k] = true
+		if v.SentAt < lastSent {
+			t.Fatalf("emission out of send order: %v after %v", v.SentAt, lastSent)
+		}
+		lastSent = v.SentAt
+	}
+}
+
+func TestLiveMatchesBatch(t *testing.T) {
+	views, bed := runLive(t, 2*time.Second, 0)
+	batch := Correlate(bed.input(nil))
+	if len(views) == 0 {
+		t.Fatal("no live views")
+	}
+	checked := 0
+	for _, v := range views {
+		bv, ok := batch.Packet(v.Flow, v.Seq, v.Kind)
+		if !ok {
+			t.Fatalf("batch missing %d/%d", v.Flow, v.Seq)
+		}
+		if !v.SeenCore {
+			continue
+		}
+		if v.ULDelay != bv.ULDelay {
+			t.Fatalf("UL delay diverges: live %v batch %v", v.ULDelay, bv.ULDelay)
+		}
+		if !equalIDs(v.TBIDs, bv.TBIDs) {
+			t.Fatalf("TB match diverges for seq %d: %v vs %v", v.Seq, v.TBIDs, bv.TBIDs)
+		}
+		if v.QueueWait != bv.QueueWait || v.HARQDelay != bv.HARQDelay {
+			t.Fatalf("attribution diverges for seq %d", v.Seq)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d resolved views compared", checked)
+	}
+}
+
+func TestLiveEmissionLatencyBounded(t *testing.T) {
+	// With a short flush horizon, even unresolvable packets are emitted.
+	s := []packet.Record{{
+		Point: packet.PointSender, PacketID: 1, Kind: packet.KindVideo,
+		Flow: 1, Seq: 0, Size: 1200, LocalTime: 10 * time.Millisecond,
+	}}
+	var got []PacketView
+	lc := NewLive(Input{}, func(v PacketView) { got = append(got, v) })
+	lc.FlushAfter = 100 * time.Millisecond
+	lc.OnSenderRecord(s[0])
+	lc.Advance(50 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("emitted before resolution or horizon")
+	}
+	lc.Advance(200 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("horizon flush failed: %d", len(got))
+	}
+	if got[0].SeenCore {
+		t.Fatal("lost packet marked seen")
+	}
+}
+
+func TestLiveTrimBoundsMemory(t *testing.T) {
+	views, _ := runLive(t, 4*time.Second, 200*time.Millisecond)
+	if len(views) == 0 {
+		t.Fatal("no views")
+	}
+	// Build a fresh correlator and verify state is trimmed during a long
+	// quiet replay.
+	lc := NewLive(Input{}, nil)
+	lc.FlushAfter = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		now := time.Duration(i) * 33 * time.Millisecond
+		lc.OnSenderRecord(packet.Record{
+			Point: packet.PointSender, Kind: packet.KindVideo,
+			Flow: 1, Seq: uint32(i), Size: 1200, LocalTime: now,
+		})
+		lc.OnCoreRecord(packet.Record{
+			Point: packet.PointCore, Kind: packet.KindVideo,
+			Flow: 1, Seq: uint32(i), Size: 1200, LocalTime: now + 10*time.Millisecond,
+		})
+		lc.Advance(now + 20*time.Millisecond)
+	}
+	lc.Advance(40 * time.Second)
+	if lc.Pending() != 0 {
+		t.Fatalf("pending = %d after final advance", lc.Pending())
+	}
+	if len(lc.sender) > 100 || len(lc.core) > 100 {
+		t.Fatalf("state unbounded: sender=%d core=%d", len(lc.sender), len(lc.core))
+	}
+}

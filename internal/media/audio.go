@@ -1,0 +1,45 @@
+package media
+
+import (
+	"time"
+
+	"athena/internal/units"
+)
+
+// AudioFrameInterval is the Opus-like packetization cadence: one audio
+// sample (in the paper's terminology) every 20 ms.
+const AudioFrameInterval = 20 * time.Millisecond
+
+// AudioSample is one encoded audio unit. Audio "samples rarely span
+// multiple packets" (§2), so sizes stay comfortably below one MTU.
+type AudioSample struct {
+	Seq   uint64
+	PTS   time.Duration
+	Bytes units.ByteCount
+}
+
+// AudioEncoder produces constant-bitrate Opus-like samples.
+type AudioEncoder struct {
+	Rate units.BitRate
+	seq  uint64
+}
+
+// NewAudioEncoder creates an audio encoder; Zoom's audio stream sits near
+// 40 kbps in Fig 8.
+func NewAudioEncoder(rate units.BitRate) *AudioEncoder {
+	if rate <= 0 {
+		rate = 40 * units.Kbps
+	}
+	return &AudioEncoder{Rate: rate}
+}
+
+// Next produces the sample captured at pts.
+func (e *AudioEncoder) Next(pts time.Duration) AudioSample {
+	s := AudioSample{
+		Seq:   e.seq,
+		PTS:   pts,
+		Bytes: units.BytesOver(e.Rate, AudioFrameInterval),
+	}
+	e.seq++
+	return s
+}

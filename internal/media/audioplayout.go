@@ -1,0 +1,49 @@
+package media
+
+import "time"
+
+// AudioPlayout models the receiver's audio path: samples play on a strict
+// 20 ms grid behind a fixed playout delay; a sample that misses its slot
+// is concealed (packet-loss concealment) and its late arrival discarded.
+// The paper measures audio quality "from the application side" [28] —
+// concealment events are the application-visible damage.
+type AudioPlayout struct {
+	// Delay is the fixed playout delay behind capture time.
+	Delay time.Duration
+
+	Played    int
+	Concealed int
+
+	base      time.Duration
+	baseValid bool
+}
+
+// NewAudioPlayout creates a playout line with the given delay (default
+// 60 ms, a common conversational setting).
+func NewAudioPlayout(delay time.Duration) *AudioPlayout {
+	if delay <= 0 {
+		delay = 60 * time.Millisecond
+	}
+	return &AudioPlayout{Delay: delay}
+}
+
+// OnArrival records a sample that arrived at the receiver at `arrival`
+// with capture timestamp pts. It reports whether the sample made its slot.
+func (a *AudioPlayout) OnArrival(pts, arrival time.Duration) bool {
+	deadline := pts + a.Delay
+	if arrival <= deadline {
+		a.Played++
+		return true
+	}
+	a.Concealed++
+	return false
+}
+
+// ConcealmentRate reports the fraction of samples concealed.
+func (a *AudioPlayout) ConcealmentRate() float64 {
+	t := a.Played + a.Concealed
+	if t == 0 {
+		return 0
+	}
+	return float64(a.Concealed) / float64(t)
+}

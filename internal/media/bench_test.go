@@ -1,0 +1,42 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/units"
+)
+
+func BenchmarkSSIM64x48(b *testing.B) {
+	src := NewSource(64, 48, 1)
+	f := src.Next()
+	ef := &EncodedFrame{Seq: f.Seq, NoiseSigma: 10, Source: f}
+	g := ef.Decode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustSSIM(f, g)
+	}
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	src := NewSource(64, 48, 1)
+	e := NewEncoder(Mode28FPS, units.Mbps, 1)
+	frames := make([]*Frame, 64)
+	for i := range frames {
+		frames[i] = src.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(frames[i%len(frames)], time.Duration(i)*33*time.Millisecond)
+	}
+}
+
+func BenchmarkJitterBuffer(b *testing.B) {
+	jb := NewJitterBuffer(10*time.Millisecond, 200*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := time.Duration(i) * 33 * time.Millisecond
+		jb.Push(&EncodedFrame{Seq: uint64(i), PTS: pts}, pts+15*time.Millisecond)
+		jb.PopDue(pts + 40*time.Millisecond)
+	}
+}

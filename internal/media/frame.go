@@ -1,0 +1,83 @@
+// Package media models the application layer of the Athena testbed: the
+// synthetic video the paper injects through a virtual camera (QR-annotated
+// frames become sequence-stamped frames here), an SVC temporal-layer
+// encoder with a bitrate→distortion model, Opus-like audio, the receiver's
+// jitter buffer and renderer, a 70 fps screen sampler for stall detection,
+// and full SSIM (Wang et al. 2004) for picture quality.
+package media
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Frame is one uncompressed luma (grayscale) picture. Seq is the
+// sequence stamp standing in for the paper's per-frame QR code.
+type Frame struct {
+	Seq  uint64
+	W, H int
+	Pix  []uint8 // row-major luma samples, len = W*H
+}
+
+// NewFrame allocates a black frame.
+func NewFrame(seq uint64, w, h int) *Frame {
+	return &Frame{Seq: seq, W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// Clone deep-copies the frame.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{Seq: f.Seq, W: f.W, H: f.H, Pix: make([]uint8, len(f.Pix))}
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// At returns the sample at (x, y) without bounds checking.
+func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
+
+// Source generates deterministic synthetic video: a drifting sinusoidal
+// texture plus mild per-frame detail, so consecutive frames differ a
+// little (P-frame-friendly) and SSIM against a distorted copy is
+// meaningful. The content is a stand-in for the paper's prerecorded talk
+// video.
+type Source struct {
+	W, H int
+	rng  *rand.Rand
+	seq  uint64
+}
+
+// NewSource creates a frame source with the given dimensions. Small frames
+// (e.g. 64×48) keep per-frame SSIM cheap while preserving the
+// bitrate→quality relationship.
+func NewSource(w, h int, seed int64) *Source {
+	return &Source{W: w, H: h, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next produces the next frame in display order.
+func (s *Source) Next() *Frame {
+	f := NewFrame(s.seq, s.W, s.H)
+	phase := float64(s.seq) * 0.13
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			// Smoothly moving texture: two crossed sinusoids.
+			v := 128 +
+				52*math.Sin(float64(x)*0.21+phase) +
+				43*math.Cos(float64(y)*0.17-0.7*phase) +
+				16*math.Sin(float64(x+y)*0.09+0.3*phase)
+			// A little static detail so the image is not band-limited.
+			v += float64(s.rng.Intn(11)) - 5
+			f.Pix[y*s.W+x] = clamp8(v)
+		}
+	}
+	s.seq++
+	return f
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

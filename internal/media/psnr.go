@@ -1,0 +1,22 @@
+package media
+
+import "math"
+
+// PSNR computes the peak signal-to-noise ratio (dB) between two frames of
+// equal size — the second standard picture-quality metric alongside SSIM.
+// Identical frames return +Inf.
+func PSNR(a, b *Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H || len(a.Pix) == 0 {
+		return 0, ErrSSIMMismatch
+	}
+	var sse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sse += d * d
+	}
+	mse := sse / float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}

@@ -1,0 +1,77 @@
+package media
+
+import "errors"
+
+// SSIM constants from Wang et al., "Image Quality Assessment: From Error
+// Visibility to Structural Similarity", IEEE TIP 2004, for 8-bit images.
+const (
+	ssimK1 = 0.01
+	ssimK2 = 0.03
+	ssimL  = 255
+)
+
+// ssimWindow is the side of the square sliding window. The reference
+// implementation uses an 11×11 Gaussian; the common fast variant uses an
+// 8×8 uniform window, which we adopt (the paper's absolute SSIM values are
+// not reproduction targets, only their ordering).
+const ssimWindow = 8
+
+// ssimStride moves the window 4 pixels at a time, the standard speedup.
+const ssimStride = 4
+
+// ErrSSIMMismatch reports incompatible frame geometry.
+var ErrSSIMMismatch = errors.New("media: SSIM frames differ in size or are too small")
+
+// SSIM computes the mean structural similarity between two frames of equal
+// size. Result is in [-1, 1]; 1 means identical.
+func SSIM(a, b *Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H || a.W < ssimWindow || a.H < ssimWindow {
+		return 0, ErrSSIMMismatch
+	}
+	c1 := (ssimK1 * ssimL) * (ssimK1 * ssimL)
+	c2 := (ssimK2 * ssimL) * (ssimK2 * ssimL)
+
+	var sum float64
+	var windows int
+	for y := 0; y+ssimWindow <= a.H; y += ssimStride {
+		for x := 0; x+ssimWindow <= a.W; x += ssimStride {
+			var sa, sb, saa, sbb, sab float64
+			for j := 0; j < ssimWindow; j++ {
+				rowA := a.Pix[(y+j)*a.W+x:]
+				rowB := b.Pix[(y+j)*b.W+x:]
+				for i := 0; i < ssimWindow; i++ {
+					va := float64(rowA[i])
+					vb := float64(rowB[i])
+					sa += va
+					sb += vb
+					saa += va * va
+					sbb += vb * vb
+					sab += va * vb
+				}
+			}
+			n := float64(ssimWindow * ssimWindow)
+			muA := sa / n
+			muB := sb / n
+			varA := saa/n - muA*muA
+			varB := sbb/n - muB*muB
+			cov := sab/n - muA*muB
+			num := (2*muA*muB + c1) * (2*cov + c2)
+			den := (muA*muA + muB*muB + c1) * (varA + varB + c2)
+			sum += num / den
+			windows++
+		}
+	}
+	if windows == 0 {
+		return 0, ErrSSIMMismatch
+	}
+	return sum / float64(windows), nil
+}
+
+// MustSSIM is SSIM for callers that already validated geometry.
+func MustSSIM(a, b *Frame) float64 {
+	v, err := SSIM(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+)
+
+// Impairer injects the network pathologies Athena's analysis (and the
+// VCA's reassembly path) must survive: random loss, reordering (a packet
+// held back briefly so later ones overtake it), and duplication. It sits
+// between any two handlers; zero-valued probabilities disable each
+// impairment, so the zero config is a transparent wire.
+type Impairer struct {
+	// LossProb drops a packet outright.
+	LossProb float64
+	// ReorderProb holds a packet for ReorderDelay instead of forwarding
+	// immediately.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	// DupProb forwards a packet twice (the duplicate after DupDelay).
+	DupProb  float64
+	DupDelay time.Duration
+
+	Next packet.Handler
+
+	sim *sim.Simulator
+	rng *rand.Rand
+
+	// Counters for assertions and reports.
+	Lost, Reordered, Duplicated int
+}
+
+// NewImpairer creates an impairment stage forwarding to next.
+func NewImpairer(s *sim.Simulator, next packet.Handler) *Impairer {
+	if next == nil {
+		next = packet.Discard
+	}
+	return &Impairer{
+		Next:         next,
+		ReorderDelay: 10 * time.Millisecond,
+		DupDelay:     time.Millisecond,
+		sim:          s,
+		rng:          s.NewStream(),
+	}
+}
+
+// Handle applies the configured impairments.
+func (im *Impairer) Handle(p *packet.Packet) {
+	if im.LossProb > 0 && im.rng.Float64() < im.LossProb {
+		im.Lost++
+		p.GroundTruth.Dropped = true
+		return
+	}
+	if im.DupProb > 0 && im.rng.Float64() < im.DupProb {
+		im.Duplicated++
+		im.sim.After(im.DupDelay, func() { im.Next.Handle(p) })
+	}
+	if im.ReorderProb > 0 && im.rng.Float64() < im.ReorderProb {
+		im.Reordered++
+		im.sim.After(im.ReorderDelay, func() { im.Next.Handle(p) })
+		return
+	}
+	im.Next.Handle(p)
+}

@@ -1,0 +1,93 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+)
+
+func TestImpairerTransparentWhenZero(t *testing.T) {
+	s := sim.New(1)
+	k := &sink{s: s}
+	im := NewImpairer(s, k)
+	var alloc packet.Alloc
+	for i := 0; i < 100; i++ {
+		im.Handle(alloc.New(packet.KindVideo, 1, 1200, 0))
+	}
+	s.Run()
+	if len(k.pkts) != 100 || im.Lost+im.Reordered+im.Duplicated != 0 {
+		t.Fatalf("zero config impaired traffic: %d delivered", len(k.pkts))
+	}
+	// FIFO preserved.
+	for i := 1; i < len(k.pkts); i++ {
+		if k.pkts[i].ID < k.pkts[i-1].ID {
+			t.Fatal("reordered without configuration")
+		}
+	}
+}
+
+func TestImpairerLoss(t *testing.T) {
+	s := sim.New(1)
+	k := &sink{s: s}
+	im := NewImpairer(s, k)
+	im.LossProb = 0.3
+	var alloc packet.Alloc
+	for i := 0; i < 1000; i++ {
+		im.Handle(alloc.New(packet.KindVideo, 1, 1200, 0))
+	}
+	s.Run()
+	if im.Lost < 200 || im.Lost > 400 {
+		t.Fatalf("Lost = %d, want ~300", im.Lost)
+	}
+	if len(k.pkts)+im.Lost != 1000 {
+		t.Fatal("conservation violated")
+	}
+}
+
+func TestImpairerReorders(t *testing.T) {
+	s := sim.New(1)
+	k := &sink{s: s}
+	im := NewImpairer(s, k)
+	im.ReorderProb = 0.2
+	var alloc packet.Alloc
+	for i := 0; i < 500; i++ {
+		at := time.Duration(i) * time.Millisecond
+		s.At(at, func() { im.Handle(alloc.New(packet.KindVideo, 1, 1200, s.Now())) })
+	}
+	s.Run()
+	if im.Reordered == 0 {
+		t.Fatal("nothing reordered")
+	}
+	inversions := 0
+	for i := 1; i < len(k.pkts); i++ {
+		if k.pkts[i].ID < k.pkts[i-1].ID {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reordering produced no observable inversions")
+	}
+	if len(k.pkts) != 500 {
+		t.Fatalf("reordering lost packets: %d", len(k.pkts))
+	}
+}
+
+func TestImpairerDuplicates(t *testing.T) {
+	s := sim.New(1)
+	k := &sink{s: s}
+	im := NewImpairer(s, k)
+	im.DupProb = 0.5
+	var alloc packet.Alloc
+	for i := 0; i < 200; i++ {
+		im.Handle(alloc.New(packet.KindVideo, 1, 1200, 0))
+	}
+	s.Run()
+	if im.Duplicated == 0 {
+		t.Fatal("nothing duplicated")
+	}
+	if len(k.pkts) != 200+im.Duplicated {
+		t.Fatalf("delivered %d, want %d", len(k.pkts), 200+im.Duplicated)
+	}
+}

@@ -1,0 +1,210 @@
+// Package netem models the wired portions of the Athena testbed: the
+// mobile core, the WAN to and from the Zoom SFU, the SFU's application-
+// layer forwarding (a secondary jitter source the paper isolates with
+// ICMP probes), and the fixed-latency emulated baseline network built with
+// Linux tc in §2.
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+	"athena/internal/units"
+)
+
+// Link forwards packets after a propagation delay plus serialization at a
+// finite rate, with a FIFO queue that drops beyond QueueLimit bytes.
+// A zero Rate means infinite capacity (pure delay).
+type Link struct {
+	Name       string
+	Delay      time.Duration
+	Jitter     time.Duration // uniform [0, Jitter) added per packet
+	Rate       units.BitRate
+	QueueLimit units.ByteCount // 0 = unlimited
+
+	// ECNMarkThreshold, when >0, sets the CE codepoint on ECN-capable
+	// packets whenever the queue exceeds the threshold (the L4S-style
+	// shallow marking of §5.3).
+	ECNMarkThreshold units.ByteCount
+
+	Next packet.Handler
+
+	sim     *sim.Simulator
+	rng     *rand.Rand
+	busyTil time.Duration
+	queued  units.ByteCount
+
+	// Dropped counts queue overflow losses.
+	Dropped int
+}
+
+// NewLink creates a link on s forwarding to next.
+func NewLink(s *sim.Simulator, name string, delay time.Duration, rate units.BitRate, next packet.Handler) *Link {
+	if next == nil {
+		next = packet.Discard
+	}
+	return &Link{Name: name, Delay: delay, Rate: rate, Next: next, sim: s, rng: s.NewStream()}
+}
+
+// Handle enqueues the packet for transmission.
+func (l *Link) Handle(p *packet.Packet) {
+	now := l.sim.Now()
+	if l.QueueLimit > 0 && l.queued+p.Size > l.QueueLimit {
+		l.Dropped++
+		p.GroundTruth.Dropped = true
+		return
+	}
+	start := now
+	if l.busyTil > start {
+		start = l.busyTil
+	}
+	txTime := units.TransmitTime(p.Size, l.Rate)
+	done := start + txTime
+	l.busyTil = done
+	l.queued += p.Size
+	if l.ECNMarkThreshold > 0 && l.queued > l.ECNMarkThreshold && p.ECN != packet.ECNNotECT {
+		p.ECN = packet.ECNCE
+	}
+	delay := l.Delay
+	if l.Jitter > 0 {
+		delay += time.Duration(l.rng.Int63n(int64(l.Jitter)))
+	}
+	l.sim.At(done, func() {
+		l.queued -= p.Size
+		l.sim.After(delay, func() { l.Next.Handle(p) })
+	})
+}
+
+// QueuedBytes reports the bytes currently in the transmission queue.
+func (l *Link) QueuedBytes() units.ByteCount { return l.queued }
+
+// SFU models the conferencing server's application-layer forwarding. The
+// paper identifies it as a secondary jitter source: the ping probes that
+// bypass its userspace processing see less jitter than media packets.
+// Processing time is a base cost plus occasional heavier-tailed stalls
+// (GC pauses, scheduling).
+type SFU struct {
+	Base       time.Duration
+	Jitter     time.Duration // uniform component
+	StallProb  float64       // probability of an extra stall
+	StallExtra time.Duration // mean of the exponential stall
+
+	Next packet.Handler
+	sim  *sim.Simulator
+	rng  *rand.Rand
+	// Forwarded counts media packets processed.
+	Forwarded int
+}
+
+// NewSFU creates an SFU stage forwarding to next.
+func NewSFU(s *sim.Simulator, next packet.Handler) *SFU {
+	if next == nil {
+		next = packet.Discard
+	}
+	return &SFU{
+		Base:       300 * time.Microsecond,
+		Jitter:     2 * time.Millisecond,
+		StallProb:  0.01,
+		StallExtra: 8 * time.Millisecond,
+		Next:       next,
+		sim:        s,
+		rng:        s.NewStream(),
+	}
+}
+
+// Handle applies application-layer processing delay and forwards.
+// ICMP packets bypass userspace processing (they are answered by the
+// kernel at the probe target), so they see only the base cost.
+func (f *SFU) Handle(p *packet.Packet) {
+	d := f.Base
+	if p.Kind != packet.KindICMP {
+		f.Forwarded++
+		d += time.Duration(f.rng.Int63n(int64(f.Jitter) + 1))
+		if f.rng.Float64() < f.StallProb {
+			d += time.Duration(f.rng.ExpFloat64() * float64(f.StallExtra))
+		}
+	}
+	f.sim.After(d, func() { f.Next.Handle(p) })
+}
+
+// FixedLatencyLink reproduces §2's emulated baseline: "a fixed 15 ms
+// latency that emulates the cellular network's capacity (calculated from
+// the physical transport block sizes) using Linux traffic control (tc)
+// over a wired network." The capacity follows a replayed schedule of
+// byte budgets per interval derived from a RAN TB trace.
+type FixedLatencyLink struct {
+	Latency time.Duration
+	Next    packet.Handler
+
+	sim      *sim.Simulator
+	schedule []units.ByteCount // byte budget per interval
+	interval time.Duration
+	idx      int
+	budget   units.ByteCount
+	queue    []*packet.Packet
+}
+
+// NewFixedLatencyLink creates the emulated link. schedule[i] is the byte
+// budget for interval i (replayed cyclically); interval is the schedule
+// granularity.
+func NewFixedLatencyLink(s *sim.Simulator, latency time.Duration, schedule []units.ByteCount, interval time.Duration, next packet.Handler) *FixedLatencyLink {
+	if next == nil {
+		next = packet.Discard
+	}
+	if len(schedule) == 0 {
+		schedule = []units.ByteCount{1 << 30}
+	}
+	if interval <= 0 {
+		interval = 2500 * time.Microsecond
+	}
+	l := &FixedLatencyLink{
+		Latency: latency, Next: next, sim: s,
+		schedule: schedule, interval: interval,
+	}
+	l.budget = schedule[0]
+	s.Every(interval, interval, l.refill)
+	return l
+}
+
+func (l *FixedLatencyLink) refill() {
+	l.idx = (l.idx + 1) % len(l.schedule)
+	// Token-bucket accumulation: unused budget carries over (bounded), so
+	// a packet larger than a single interval's budget still transmits
+	// once enough intervals have passed — tc's behavior.
+	l.budget += l.schedule[l.idx]
+	var maxEntry units.ByteCount
+	for _, b := range l.schedule {
+		if b > maxEntry {
+			maxEntry = b
+		}
+	}
+	limit := 4 * maxEntry
+	if limit < 4000 { // always allow at least a couple of MTUs to burst
+		limit = 4000
+	}
+	if l.budget > limit {
+		l.budget = limit
+	}
+	l.drain()
+}
+
+func (l *FixedLatencyLink) drain() {
+	for len(l.queue) > 0 && l.queue[0].Size <= l.budget {
+		p := l.queue[0]
+		l.queue = l.queue[1:]
+		l.budget -= p.Size
+		l.sim.After(l.Latency, func() { l.Next.Handle(p) })
+	}
+}
+
+// Handle sends the packet within the current interval's capacity budget,
+// queueing it for later intervals when the budget is spent.
+func (l *FixedLatencyLink) Handle(p *packet.Packet) {
+	l.queue = append(l.queue, p)
+	l.drain()
+}
+
+// QueueLen reports packets awaiting budget.
+func (l *FixedLatencyLink) QueueLen() int { return len(l.queue) }

@@ -1,0 +1,272 @@
+package ran
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+)
+
+// drive a periodic frame workload (4×1200 B every 33 ms + 130 B audio
+// every 20 ms) through a cell with the given scheduler and return mean
+// frame-level delay (first enqueue → last core arrival).
+func frameDelayUnder(t *testing.T, sched SchedulerKind, dur time.Duration) time.Duration {
+	t.Helper()
+	cfg := Defaults()
+	s := sim.New(1)
+	core := &collector{s: s}
+	r := New(s, cfg, core)
+	ue := r.AttachUE(1, sched)
+	var alloc packet.Alloc
+	frameOf := map[uint64]int{}
+	frame := 0
+	s.Every(3*time.Millisecond, 33*time.Millisecond, func() {
+		if s.Now() > dur {
+			return
+		}
+		frame++
+		for i := 0; i < 4; i++ {
+			p := alloc.New(packet.KindVideo, 1, 1200, s.Now())
+			frameOf[p.ID] = frame
+			ue.Handle(p)
+		}
+	})
+	s.Every(5*time.Millisecond, 20*time.Millisecond, func() {
+		if s.Now() > dur {
+			return
+		}
+		ue.Handle(alloc.New(packet.KindAudio, 1, 130, s.Now()))
+	})
+	s.RunUntil(dur + time.Second)
+
+	firstSent := map[int]time.Duration{}
+	lastRecv := map[int]time.Duration{}
+	for i, p := range core.pkts {
+		f, ok := frameOf[p.ID]
+		if !ok {
+			continue
+		}
+		if v, seen := firstSent[f]; !seen || p.SentAt < v {
+			firstSent[f] = p.SentAt
+		}
+		if core.at[i] > lastRecv[f] {
+			lastRecv[f] = core.at[i]
+		}
+	}
+	var sum time.Duration
+	n := 0
+	for f, fs := range firstSent {
+		// Skip the learning warm-up (first second of frames).
+		if lr, ok := lastRecv[f]; ok && fs > time.Second {
+			sum += lr - fs
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no frames measured")
+	}
+	return sum / time.Duration(n)
+}
+
+func TestPredictiveSchedulerLearnsCadence(t *testing.T) {
+	combined := frameDelayUnder(t, SchedCombined, 4*time.Second)
+	predictive := frameDelayUnder(t, SchedPredictive, 4*time.Second)
+	oracle := frameDelayUnder(t, SchedOracle, 4*time.Second)
+	if predictive >= combined {
+		t.Fatalf("predictive %v should beat combined %v after warm-up", predictive, combined)
+	}
+	// §5.2: "cut the delay inflation experienced by frames in half" —
+	// inflation being the excess over the unavoidable floor (oracle).
+	combInfl := combined - oracle
+	predInfl := predictive - oracle
+	if predInfl > combInfl/2 {
+		t.Fatalf("predictive inflation %v not half of combined %v (oracle floor %v)",
+			predInfl, combInfl, oracle)
+	}
+}
+
+func TestPredictiveIssuesAppAwareGrants(t *testing.T) {
+	cfg := Defaults()
+	s := sim.New(1)
+	r := New(s, cfg, nil)
+	ue := r.AttachUE(1, SchedPredictive)
+	var alloc packet.Alloc
+	s.Every(3*time.Millisecond, 33*time.Millisecond, func() {
+		if s.Now() > 3*time.Second {
+			return
+		}
+		for i := 0; i < 4; i++ {
+			ue.Handle(alloc.New(packet.KindVideo, 1, 1200, s.Now()))
+		}
+	})
+	s.RunUntil(4 * time.Second)
+	predGrants := 0
+	for _, rec := range r.Telemetry.ForUE(1) {
+		if rec.Grant.String() == "AppAware" {
+			predGrants++
+		}
+	}
+	if predGrants < 20 {
+		t.Fatalf("predictive issued only %d learned grants", predGrants)
+	}
+}
+
+func TestPredictorPeriodEstimate(t *testing.T) {
+	p := &predictor{}
+	// 30 fps cadence: 4.8 kB demand events every 33 ms.
+	for i := 0; i < 8; i++ {
+		p.observeDemand(4800, time.Duration(i)*33*time.Millisecond)
+	}
+	if !p.primed {
+		t.Fatal("predictor did not prime on clean cadence")
+	}
+	if p.period != 33*time.Millisecond {
+		t.Fatalf("period = %v, want 33ms", p.period)
+	}
+	if p.size < 4000 || p.size > 5200 {
+		t.Fatalf("size = %v, want ~4800", p.size)
+	}
+	// Re-anchors on every demand event.
+	if p.anchor != 7*33*time.Millisecond+p.period {
+		t.Fatalf("anchor = %v", p.anchor)
+	}
+}
+
+func TestPredictorSeparatesSmallFlows(t *testing.T) {
+	p := &predictor{}
+	// Interleave 130 B audio demands every 20 ms with 4.8 kB video
+	// demands every 40 ms.
+	for i := 0; i < 20; i++ {
+		at := time.Duration(i) * 20 * time.Millisecond
+		p.observeDemand(130, at)
+		if i%2 == 0 {
+			p.observeDemand(4800, at+10*time.Millisecond)
+		}
+	}
+	if !p.smallPrimed || !p.primed {
+		t.Fatal("both cadences should be learned")
+	}
+	if p.smallPeriod != 20*time.Millisecond {
+		t.Fatalf("small period = %v", p.smallPeriod)
+	}
+	if p.period != 40*time.Millisecond {
+		t.Fatalf("large period = %v", p.period)
+	}
+	if p.smallSize >= burstSizeMin {
+		t.Fatalf("small size = %v crossed the class boundary", p.smallSize)
+	}
+}
+
+func TestPredictorIgnoresImplausibleGaps(t *testing.T) {
+	p := &predictor{}
+	// Demands a full second apart never prime the model.
+	for i := 0; i < 10; i++ {
+		p.observeDemand(4800, time.Duration(i)*time.Second)
+	}
+	if p.primed {
+		t.Fatal("implausible gaps primed the predictor")
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	got := medianDuration([]time.Duration{3, 1, 2})
+	if got != 2 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestFDDRemovesSlotAlignment(t *testing.T) {
+	// Same lone packet: TDD waits for the UL slot; FDD sends next slot.
+	run := func(d Duplex) time.Duration {
+		cfg := Defaults()
+		cfg.Duplex = d
+		if d == DuplexFDD {
+			cfg.ProactiveTBS = 320 // same proactive rate per time
+		}
+		s := sim.New(1)
+		core := &collector{s: s}
+		r := New(s, cfg, core)
+		ue := r.AttachUE(1, SchedCombined)
+		var alloc packet.Alloc
+		s.At(100*time.Microsecond, func() {
+			ue.Handle(alloc.New(packet.KindAudio, 1, 200, s.Now()))
+		})
+		s.RunUntil(time.Second)
+		if len(core.pkts) != 1 {
+			t.Fatalf("delivered %d", len(core.pkts))
+		}
+		return core.at[0] - 100*time.Microsecond
+	}
+	tdd := run(DuplexTDD)
+	fdd := run(DuplexFDD)
+	if fdd >= tdd {
+		t.Fatalf("FDD delay %v should be below TDD %v", fdd, tdd)
+	}
+	if fdd > 3*time.Millisecond {
+		t.Fatalf("FDD lone-packet delay %v too high", fdd)
+	}
+}
+
+func TestFDDSpreadFinerQuantum(t *testing.T) {
+	cfg := Defaults()
+	cfg.Duplex = DuplexFDD
+	cfg.ProactiveTBS = 320
+	s := sim.New(1)
+	core := &collector{s: s}
+	r := New(s, cfg, core)
+	ue := r.AttachUE(1, SchedCombined)
+	var alloc packet.Alloc
+	s.At(time.Millisecond, func() {
+		for i := 0; i < 4; i++ {
+			ue.Handle(alloc.New(packet.KindVideo, 1, 1200, s.Now()))
+		}
+	})
+	s.RunUntil(time.Second)
+	if len(core.pkts) != 4 {
+		t.Fatalf("delivered %d", len(core.pkts))
+	}
+	spread := core.at[len(core.at)-1] - core.at[0]
+	// FDD spreads on the 0.5 ms slot grid, not 2.5 ms.
+	if spread%(500*time.Microsecond) != 0 {
+		t.Fatalf("spread %v not on 0.5ms grid", spread)
+	}
+	if spread >= 12500*time.Microsecond {
+		t.Fatalf("FDD spread %v should be tighter than the TDD regime", spread)
+	}
+}
+
+func TestFDDConfigDerived(t *testing.T) {
+	cfg := Defaults()
+	cfg.Duplex = DuplexFDD
+	if cfg.ULPeriod() != cfg.SlotDuration {
+		t.Fatalf("FDD ULPeriod = %v", cfg.ULPeriod())
+	}
+	if cfg.FrameStructure() == "" || cfg.Duplex.String() != "FDD" {
+		t.Fatal("FDD naming")
+	}
+	if DuplexTDD.String() != "TDD" {
+		t.Fatal("TDD naming")
+	}
+}
+
+func TestCustomTDDPattern(t *testing.T) {
+	// A 10-slot pattern (5 ms UL period): spread quantum doubles.
+	cfg := Defaults()
+	cfg.SlotsPerPeriod = 10
+	s := sim.New(1)
+	core := &collector{s: s}
+	r := New(s, cfg, core)
+	ue := r.AttachUE(1, SchedCombined)
+	var alloc packet.Alloc
+	s.At(time.Millisecond, func() {
+		for i := 0; i < 6; i++ {
+			ue.Handle(alloc.New(packet.KindVideo, 1, 1200, s.Now()))
+		}
+	})
+	s.RunUntil(time.Second)
+	spread := core.at[len(core.at)-1] - core.at[0]
+	if spread == 0 || spread%(5*time.Millisecond) != 0 {
+		t.Fatalf("spread %v not on the 5ms grid", spread)
+	}
+}

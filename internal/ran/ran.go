@@ -1,0 +1,445 @@
+package ran
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+	"athena/internal/telemetry"
+	"athena/internal/units"
+)
+
+// RAN is the cell: a gNB serving one or more UEs under a shared uplink
+// capacity, with the TDD slot structure and grant machinery of §3.
+type RAN struct {
+	Cfg Config
+
+	sim  *sim.Simulator
+	rng  *rand.Rand
+	ues  []*UE
+	core packet.Handler // where successfully decoded uplink packets go
+
+	Telemetry *telemetry.Collector
+
+	// pendingGrants are requested/app-aware grants not yet executable.
+	pendingGrants []*grant
+	// outstanding tracks requested-but-not-yet-executed bytes per UE so
+	// repeated BSRs are not double-counted.
+	outstanding map[uint32]units.ByteCount
+
+	appState   map[uint32]*appAwareState
+	predictors map[uint32]*predictor
+	rrStart    int
+
+	// faded reports whether the cell is currently in a channel fade.
+	faded   bool
+	fadeRNG *rand.Rand
+
+	// dlBusyTil serializes downlink transmissions.
+	dlBusyTil time.Duration
+
+	nextTBID uint64
+
+	// Drops counts packets abandoned after HARQ exhaustion.
+	Drops int
+}
+
+// grant is an uplink allocation executable at a specific UL slot.
+type grant struct {
+	ue   *UE
+	tbs  units.ByteCount
+	due  time.Duration
+	kind telemetry.GrantKind
+	// retries counts re-issues of a predicted grant that fired before the
+	// traffic it anticipated arrived.
+	retries int
+}
+
+// New creates a RAN on s delivering uplink packets to core. The UL slot
+// loop starts immediately.
+func New(s *sim.Simulator, cfg Config, core packet.Handler) *RAN {
+	if core == nil {
+		core = packet.Discard
+	}
+	r := &RAN{
+		Cfg:         cfg,
+		sim:         s,
+		rng:         s.NewStream(),
+		core:        core,
+		Telemetry:   &telemetry.Collector{},
+		outstanding: make(map[uint32]units.ByteCount),
+		appState:    make(map[uint32]*appAwareState),
+		predictors:  make(map[uint32]*predictor),
+	}
+	// TDD: the UL slot is the last slot of each period. FDD: the uplink
+	// carrier is continuously available, one opportunity per slot.
+	firstUL := cfg.SlotDuration * time.Duration(cfg.SlotsPerPeriod-1)
+	if cfg.Duplex == DuplexFDD {
+		firstUL = 0
+	}
+	s.Every(firstUL, cfg.ULPeriod(), r.onULSlot)
+	if cfg.FadeMeanBad > 0 && cfg.FadeMeanGood > 0 {
+		r.fadeRNG = s.NewStream()
+		r.scheduleFade()
+	}
+	return r
+}
+
+// scheduleFade flips the channel state after an exponentially distributed
+// residence time in the current state.
+func (r *RAN) scheduleFade() {
+	mean := r.Cfg.FadeMeanGood
+	if r.faded {
+		mean = r.Cfg.FadeMeanBad
+	}
+	d := time.Duration(r.fadeRNG.ExpFloat64() * float64(mean))
+	r.sim.After(d, func() {
+		r.faded = !r.faded
+		r.scheduleFade()
+	})
+}
+
+// effectiveBLER is the channel's current block error rate.
+func (r *RAN) effectiveBLER() float64 {
+	if r.faded {
+		return r.Cfg.FadeBLER
+	}
+	return r.Cfg.BLER
+}
+
+// effectiveCapacity is the current per-slot byte budget (fades reduce the
+// usable MCS).
+func (r *RAN) effectiveCapacity() units.ByteCount {
+	c := r.Cfg.SlotCapacity()
+	if r.faded && r.Cfg.FadeCapacityFactor > 0 {
+		c = units.ByteCount(float64(c) * r.Cfg.FadeCapacityFactor)
+	}
+	return c
+}
+
+// AttachUE registers a mobile with the given scheduling strategy and
+// returns it.
+func (r *RAN) AttachUE(id uint32, sched SchedulerKind) *UE {
+	u := &UE{ID: id, Sched: sched, ran: r, Downlink: packet.Discard}
+	r.ues = append(r.ues, u)
+	return u
+}
+
+// SendDownlink delivers p to the UE's host over the downlink. The paper
+// finds the 5G downlink "provides low and stable delay" — structurally,
+// because the gNB schedules its own transmissions: there is no BSR grant
+// cycle, only slot alignment, serialization at the (ample) downlink
+// share, and the occasional HARQ retransmission.
+func (r *RAN) SendDownlink(u *UE, p *packet.Packet) {
+	now := r.sim.Now()
+	// Serialization at the DL share: in TDD, SlotsPerPeriod-1 of every
+	// SlotsPerPeriod slots carry downlink.
+	dlRate := r.Cfg.CellULRate * units.BitRate(r.Cfg.SlotsPerPeriod-1)
+	if r.Cfg.Duplex == DuplexFDD || dlRate <= 0 {
+		dlRate = r.Cfg.CellULRate
+	}
+	start := now
+	if r.dlBusyTil > start {
+		start = r.dlBusyTil
+	}
+	done := start + units.TransmitTime(p.Size, dlRate)
+	r.dlBusyTil = done
+	// Sub-slot alignment: at most one UL slot interrupts a DL run.
+	align := time.Duration(r.rng.Int63n(int64(r.Cfg.SlotDuration) + 1))
+	delay := r.Cfg.DownlinkDelay + align
+	// Downlink HARQ: same channel, same 10 ms turnaround.
+	for round := 0; round < r.Cfg.MaxHARQ && r.rng.Float64() < r.effectiveBLER(); round++ {
+		delay += r.Cfg.HARQRTT
+	}
+	r.sim.At(done, func() {
+		r.sim.After(delay, func() { u.Downlink.Handle(p) })
+	})
+}
+
+// onULSlot runs the gNB's per-uplink-slot machinery: execute due grants,
+// build TBs, start HARQ, then collect BSRs for future grants.
+func (r *RAN) onULSlot() {
+	now := r.sim.Now()
+	capacity := r.effectiveCapacity()
+
+	// 1. Gather this slot's executable grants into per-UE queues.
+	//    Within a UE: backlogged requested grants first (FIFO), then
+	//    app-aware/oracle, then the speculative proactive grant — under
+	//    load the gNB cannot afford speculative allocations, which is why
+	//    the paper only sees proactive TBs helping in a lightly-used cell.
+	perUE := make(map[uint32][]*grant, len(r.ues))
+	var still []*grant
+	for _, g := range r.pendingGrants {
+		if g.due <= now {
+			perUE[g.ue.ID] = append(perUE[g.ue.ID], g)
+		} else {
+			still = append(still, g)
+		}
+	}
+	r.pendingGrants = still
+	for _, u := range r.ues {
+		switch u.Sched {
+		case SchedOracle:
+			if u.bufBytes > 0 {
+				perUE[u.ID] = append(perUE[u.ID], &grant{ue: u, tbs: u.bufBytes, due: now, kind: telemetry.GrantOracle})
+			}
+		case SchedAppAware:
+			perUE[u.ID] = append(perUE[u.ID], r.appAwareGrants(u, now)...)
+		case SchedPredictive:
+			perUE[u.ID] = append(perUE[u.ID], r.predictiveGrants(u, now)...)
+		case SchedCombined, SchedProactiveOnly:
+			perUE[u.ID] = append(perUE[u.ID], &grant{ue: u, tbs: r.Cfg.ProactiveTBS, due: now, kind: telemetry.GrantProactive})
+		}
+	}
+
+	// 2. Allocate the slot's byte budget round-robin across UEs, one
+	//    grant per UE per round. The rotation pointer persists across
+	//    slots so backlogged UEs share the cell fairly instead of a
+	//    global FIFO starving latecomers.
+	remaining := capacity
+	n := len(r.ues)
+	for remaining > 0 {
+		progress := false
+		for i := 0; i < n && remaining > 0; i++ {
+			u := r.ues[(r.rrStart+i)%n]
+			q := perUE[u.ID]
+			if len(q) == 0 {
+				continue
+			}
+			g := q[0]
+			perUE[u.ID] = q[1:]
+			progress = true
+			tbs := g.tbs
+			if tbs > remaining {
+				// Split: transmit what fits, defer the rest.
+				rest := tbs - remaining
+				tbs = remaining
+				if g.kind == telemetry.GrantRequested || g.kind == telemetry.GrantAppAware {
+					r.pendingGrants = append(r.pendingGrants, &grant{ue: g.ue, tbs: rest, due: now + r.Cfg.ULPeriod(), kind: g.kind})
+				}
+			}
+			remaining -= tbs
+			if g.kind == telemetry.GrantRequested {
+				out := r.outstanding[g.ue.ID] - tbs
+				if out < 0 {
+					out = 0
+				}
+				r.outstanding[g.ue.ID] = out
+			}
+			used := r.transmitTB(g.ue, tbs, g.kind, now)
+			// A predicted grant that fired just before its burst arrived
+			// is retried next slot (bounded), so a slightly-early
+			// prediction costs one slot, not a whole period. "Mostly
+			// unused" (not strictly empty) covers the case where a stray
+			// audio packet absorbed a few bytes of an early frame grant.
+			if used*2 < tbs && g.kind == telemetry.GrantAppAware &&
+				g.ue.Sched == SchedPredictive && g.retries < 4 {
+				r.pendingGrants = append(r.pendingGrants, &grant{
+					ue: g.ue, tbs: g.tbs - used, due: now + r.Cfg.ULPeriod(),
+					kind: g.kind, retries: g.retries + 1,
+				})
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Unserved grants: requested/app-aware defer to the next slot;
+	// proactive allocations simply lapse.
+	for _, q := range perUE {
+		for _, g := range q {
+			if g.kind == telemetry.GrantRequested || g.kind == telemetry.GrantAppAware {
+				g.due = now + r.Cfg.ULPeriod()
+				r.pendingGrants = append(r.pendingGrants, g)
+			}
+		}
+	}
+	if n > 0 {
+		r.rrStart = (r.rrStart + 1) % n
+	}
+
+	// 3. BSR collection: each UE with unaccounted backlog requests a
+	//    grant arriving SchedDelay later.
+	for _, u := range r.ues {
+		if u.Sched == SchedProactiveOnly || u.Sched == SchedOracle {
+			continue
+		}
+		want := u.bufBytes - r.outstanding[u.ID]
+		if want <= 0 {
+			continue
+		}
+		if u.Sched == SchedPredictive {
+			// A fresh-backlog BSR is the predictor's learning signal: it
+			// fires exactly when no pre-scheduled grant absorbed the
+			// traffic.
+			if p := r.predictors[u.ID]; p != nil {
+				p.observeDemand(want, now)
+			}
+		}
+		if want > capacity {
+			want = capacity // a grant cannot exceed one slot
+		}
+		r.outstanding[u.ID] += want
+		r.pendingGrants = append(r.pendingGrants, &grant{
+			ue: u, tbs: want, due: now + r.Cfg.SchedDelay, kind: telemetry.GrantRequested,
+		})
+	}
+}
+
+// transmitTB builds a TB of size tbs from the UE buffer, runs its HARQ
+// process, and reports the payload bytes it carried.
+func (r *RAN) transmitTB(u *UE, tbs units.ByteCount, kind telemetry.GrantKind, slotAt time.Duration) units.ByteCount {
+	viaBSR := kind == telemetry.GrantRequested
+	segs := u.fill(tbs, viaBSR, slotAt)
+	var used units.ByteCount
+	ids := make([]uint64, 0, len(segs))
+	for _, s := range segs {
+		used += s.bytes
+		ids = append(ids, s.entry.pkt.ID)
+	}
+	r.nextTBID++
+	tb := &transportBlock{
+		id: r.nextTBID, ue: u, tbs: tbs, used: used, kind: kind,
+		segs: segs, firstAt: slotAt, ids: ids,
+	}
+	r.attempt(tb, 0, slotAt)
+	return used
+}
+
+// transportBlock is one TB working through HARQ.
+type transportBlock struct {
+	id      uint64
+	ue      *UE
+	tbs     units.ByteCount
+	used    units.ByteCount
+	kind    telemetry.GrantKind
+	segs    []segment
+	ids     []uint64
+	firstAt time.Duration
+}
+
+// attempt transmits the TB (round = HARQ round) and schedules either
+// delivery or a retransmission.
+func (r *RAN) attempt(tb *transportBlock, round int, at time.Duration) {
+	failed := r.rng.Float64() < r.effectiveBLER()
+	canRetry := round < r.Cfg.MaxHARQ
+	r.Telemetry.Add(telemetry.TBRecord{
+		TBID: tb.id, UE: tb.ue.ID, At: at, TBS: tb.tbs, UsedBytes: tb.used,
+		Grant: tb.kind, HARQRound: round, Failed: failed,
+		PacketIDs: tb.ids,
+	})
+	if failed && canRetry {
+		// The base station mandates retransmission even of empty TBs
+		// (§3.2), so the retry is scheduled unconditionally.
+		r.sim.At(at+r.Cfg.HARQRTT, func() { r.attempt(tb, round+1, at+r.Cfg.HARQRTT) })
+		return
+	}
+	if failed {
+		// HARQ exhausted: packets carried (even partially) are lost.
+		for _, s := range tb.segs {
+			if !s.entry.abandoned {
+				s.entry.abandoned = true
+				s.entry.pkt.GroundTruth.Dropped = true
+				r.Drops++
+			}
+		}
+		return
+	}
+	// Success: bytes decoded at the end of this slot.
+	doneAt := at + r.Cfg.SlotDuration
+	for _, s := range tb.segs {
+		e := s.entry
+		e.pendingTBs--
+		if doneAt > e.latestSuccess {
+			e.latestSuccess = doneAt
+		}
+		if tb.id != 0 {
+			e.pkt.GroundTruth.TBIDs = append(e.pkt.GroundTruth.TBIDs, tb.id)
+		}
+		if e.fullySegmented && e.pendingTBs == 0 && !e.abandoned {
+			r.deliver(e)
+		}
+	}
+}
+
+// deliver hands a fully received packet to the core, recording the
+// ground-truth delay decomposition the correlator must later recover.
+func (r *RAN) deliver(e *bufEntry) {
+	gt := &e.pkt.GroundTruth
+	gt.UEQueueWait = e.lastFirstTx - e.enqueuedAt
+	if e.lastViaBSR {
+		gt.BSRWait = gt.UEQueueWait
+	}
+	gt.HARQDelay = e.latestSuccess - (e.lastFirstTx + r.Cfg.SlotDuration)
+	deliverAt := e.latestSuccess + r.Cfg.CoreDelay
+	pkt := e.pkt
+	r.sim.At(deliverAt, func() { r.core.Handle(pkt) })
+}
+
+// appAwareState tracks the gNB's learned media cadence for one UE.
+type appAwareState struct {
+	anchor        time.Duration // predicted next frame generation
+	interval      time.Duration
+	frameBytes    units.ByteCount
+	audioAnchor   time.Duration
+	audioInterval time.Duration
+	audioBytes    units.ByteCount
+	primed        bool
+}
+
+// appAwareGrants issues grants timed to the UE's announced media cadence
+// (§5.2: "the base station can issue grants exactly at the right times
+// when a sample or frame is generated"). A small BSR fallback (handled by
+// the normal BSR path) cleans up estimation error.
+func (r *RAN) appAwareGrants(u *UE, now time.Duration) []*grant {
+	st := r.appState[u.ID]
+	if st == nil {
+		st = &appAwareState{}
+		r.appState[u.ID] = st
+	}
+	if u.hasMeta {
+		m := u.latestMeta
+		if m.FrameRateFPS > 0 {
+			st.interval = time.Second / time.Duration(m.FrameRateFPS)
+			// 15% headroom over the announced frame size estimate.
+			st.frameBytes = units.ByteCount(float64(m.FrameSizeBytes) * 1.15)
+		}
+		if m.AudioRateHz > 0 {
+			// AudioRateHz encodes packets/s × 100.
+			st.audioInterval = time.Duration(float64(time.Second) / (float64(m.AudioRateHz) / 100))
+			st.audioBytes = 220
+		}
+		if !st.primed {
+			st.anchor = u.lastMetaFrame + st.interval
+			st.audioAnchor = now
+			st.primed = true
+		}
+		u.hasMeta = false // consume; refreshed by the next meta packet
+		// The frame that carried the metadata is itself in the buffer:
+		// grant for it immediately.
+		return []*grant{{ue: u, tbs: st.frameBytes, due: now, kind: telemetry.GrantAppAware}}
+	}
+	if !st.primed {
+		return nil
+	}
+	var gs []*grant
+	// Issue the frame grant on the first UL slot at/after the predicted
+	// generation instant; anchors in the future wait for a later slot.
+	for st.interval > 0 && st.anchor <= now {
+		gs = append(gs, &grant{ue: u, tbs: st.frameBytes, due: now, kind: telemetry.GrantAppAware})
+		st.anchor += st.interval
+	}
+	for st.audioInterval > 0 && st.audioAnchor <= now {
+		gs = append(gs, &grant{ue: u, tbs: st.audioBytes, due: now, kind: telemetry.GrantAppAware})
+		st.audioAnchor += st.audioInterval
+	}
+	return gs
+}
+
+// String describes the cell.
+func (r *RAN) String() string {
+	return fmt.Sprintf("ran(ues=%d ulPeriod=%v slotCap=%v bler=%.2f)",
+		len(r.ues), r.Cfg.ULPeriod(), r.Cfg.SlotCapacity(), r.Cfg.BLER)
+}

@@ -1,0 +1,139 @@
+package ran
+
+import (
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/rtp"
+	"athena/internal/units"
+)
+
+// SchedulerKind selects the uplink grant strategy applied to a UE.
+type SchedulerKind uint8
+
+// Scheduler strategies. Combined (proactive + BSR-requested) is the
+// paper's observed default; AppAware and Oracle implement §5.2.
+const (
+	SchedCombined SchedulerKind = iota
+	SchedBSROnly
+	SchedProactiveOnly
+	SchedAppAware
+	SchedOracle
+	// SchedPredictive is §5.2's ML alternative: the gNB learns the UE's
+	// burst cadence from observed usage and pre-schedules grants, with
+	// BSR as the learning signal and fallback.
+	SchedPredictive
+)
+
+// String names the strategy.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedCombined:
+		return "proactive+bsr"
+	case SchedBSROnly:
+		return "bsr-only"
+	case SchedProactiveOnly:
+		return "proactive-only"
+	case SchedAppAware:
+		return "app-aware"
+	case SchedOracle:
+		return "oracle"
+	case SchedPredictive:
+		return "predictive"
+	}
+	return "?"
+}
+
+// bufEntry is one IP packet queued in the UE's uplink buffer, possibly
+// partially transmitted (RLC segmentation).
+type bufEntry struct {
+	pkt        *packet.Packet
+	remaining  units.ByteCount
+	enqueuedAt time.Duration
+
+	// transmission bookkeeping
+	pendingTBs     int           // TB transmissions in flight carrying segments
+	lastFirstTx    time.Duration // slot of the *initial* attempt of the latest segment
+	latestSuccess  time.Duration // max success time across segment TBs
+	lastViaBSR     bool          // last segment rode a BSR-requested TB
+	fullySegmented bool          // all bytes have been placed into TBs
+	abandoned      bool          // a carrying TB exhausted HARQ
+}
+
+// UE is one mobile attached to the cell. Its Handle method accepts uplink
+// IP packets from the host stack; delivered packets emerge at the RAN's
+// core handler.
+type UE struct {
+	ID    uint32
+	Sched SchedulerKind
+
+	ran *RAN
+
+	buf      []*bufEntry
+	bufBytes units.ByteCount
+
+	// Downlink delivery handler (packets arriving from the network to
+	// this UE's host).
+	Downlink packet.Handler
+
+	// latestMeta is the §5.2 media metadata most recently seen in a
+	// queued packet; the UE reports it alongside its BSR when the cell
+	// runs the app-aware scheduler.
+	latestMeta    rtp.MediaMeta
+	hasMeta       bool
+	lastMetaFrame time.Duration // enqueue time of the meta-carrying packet
+}
+
+// Handle enqueues an uplink packet into the UE transmission buffer.
+func (u *UE) Handle(p *packet.Packet) {
+	now := u.ran.sim.Now()
+	if th := u.ran.Cfg.ECNThreshold; th > 0 && u.bufBytes > th && p.ECN != packet.ECNNotECT {
+		p.ECN = packet.ECNCE
+	}
+	e := &bufEntry{pkt: p, remaining: p.Size, enqueuedAt: now}
+	u.buf = append(u.buf, e)
+	u.bufBytes += p.Size
+	if rp, ok := p.Payload.(*rtp.Packet); ok && rp.HasMeta {
+		u.latestMeta = rp.Meta
+		u.hasMeta = true
+		u.lastMetaFrame = now
+	}
+}
+
+// Buffered reports the bytes currently awaiting transmission.
+func (u *UE) Buffered() units.ByteCount { return u.bufBytes }
+
+// segment describes one TB's share of one packet.
+type segment struct {
+	entry *bufEntry
+	bytes units.ByteCount
+	last  bool // carries the packet's final byte
+}
+
+// fill carves up to tbs bytes from the head of the buffer, marking
+// transmission bookkeeping. grantKind records how the carrying TB was
+// granted (for per-packet BSR-wait attribution).
+func (u *UE) fill(tbs units.ByteCount, viaBSR bool, slotAt time.Duration) []segment {
+	var segs []segment
+	budget := tbs
+	for budget > 0 && len(u.buf) > 0 {
+		e := u.buf[0]
+		take := e.remaining
+		if take > budget {
+			take = budget
+		}
+		e.remaining -= take
+		u.bufBytes -= take
+		budget -= take
+		last := e.remaining == 0
+		segs = append(segs, segment{entry: e, bytes: take, last: last})
+		e.pendingTBs++
+		e.lastFirstTx = slotAt
+		e.lastViaBSR = viaBSR
+		if last {
+			e.fullySegmented = true
+			u.buf = u.buf[1:]
+		}
+	}
+	return segs
+}

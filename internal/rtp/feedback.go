@@ -1,0 +1,172 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// Transport-wide congestion-control feedback, modeled after the WebRTC
+// transport-cc RTCP extension: the receiver periodically reports, for each
+// transport-wide sequence number, the (receiver-clock) arrival time. GCC's
+// delay-gradient estimator runs entirely off these reports.
+//
+// The §5.3 "delay masking" mitigation rewrites the arrival times in these
+// reports inside the RAN, which is why feedback is a first-class wire
+// format here rather than an in-memory callback.
+
+// ArrivalInfo is one (sequence, arrival) pair in a feedback report.
+// Lost packets are reported with Received=false.
+type ArrivalInfo struct {
+	Seq      uint16
+	Received bool
+	// Arrival is the receiver-clock arrival timestamp.
+	Arrival time.Duration
+	// ECE reports whether the packet arrived with the ECN-CE mark (L4S).
+	ECE bool
+}
+
+// Feedback is one transport-wide feedback report.
+type Feedback struct {
+	SSRC    uint32 // media SSRC being reported on
+	Reports []ArrivalInfo
+}
+
+const feedbackEntrySize = 2 + 1 + 8 // seq + flags + arrival (ns)
+
+// Marshal serializes the report. Format (simulation-internal, but a real
+// byte format so the RAN-side rewriter parses what it forwards):
+//
+//	0:4   SSRC
+//	4:6   count
+//	then per entry: seq(2) flags(1: bit0 received, bit1 ECE) arrival ns (8)
+func (f *Feedback) Marshal() []byte {
+	buf := make([]byte, 6+len(f.Reports)*feedbackEntrySize)
+	binary.BigEndian.PutUint32(buf[0:], f.SSRC)
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(f.Reports)))
+	off := 6
+	for _, r := range f.Reports {
+		binary.BigEndian.PutUint16(buf[off:], r.Seq)
+		var flags byte
+		if r.Received {
+			flags |= 1
+		}
+		if r.ECE {
+			flags |= 2
+		}
+		buf[off+2] = flags
+		binary.BigEndian.PutUint64(buf[off+3:], uint64(r.Arrival))
+		off += feedbackEntrySize
+	}
+	return buf
+}
+
+// ErrBadFeedback reports a malformed feedback payload.
+var ErrBadFeedback = errors.New("rtp: malformed transport-wide feedback")
+
+// UnmarshalFeedback parses a feedback report.
+func UnmarshalFeedback(buf []byte) (*Feedback, error) {
+	if len(buf) < 6 {
+		return nil, ErrBadFeedback
+	}
+	f := &Feedback{SSRC: binary.BigEndian.Uint32(buf[0:])}
+	n := int(binary.BigEndian.Uint16(buf[4:]))
+	if len(buf) < 6+n*feedbackEntrySize {
+		return nil, ErrBadFeedback
+	}
+	off := 6
+	for i := 0; i < n; i++ {
+		r := ArrivalInfo{
+			Seq:      binary.BigEndian.Uint16(buf[off:]),
+			Received: buf[off+2]&1 != 0,
+			ECE:      buf[off+2]&2 != 0,
+			Arrival:  time.Duration(binary.BigEndian.Uint64(buf[off+3:])),
+		}
+		f.Reports = append(f.Reports, r)
+		off += feedbackEntrySize
+	}
+	return f, nil
+}
+
+// FeedbackBuilder accumulates arrivals at the receiver and cuts periodic
+// reports. Sequence gaps become loss entries only after ReorderGrace has
+// elapsed without the packet appearing: 5G HARQ retransmissions reorder
+// the stream by tens of milliseconds, and declaring those packets lost
+// would feed congestion control a phantom loss signal on top of the
+// phantom delay signal the paper already documents.
+type FeedbackBuilder struct {
+	pending []ArrivalInfo
+	ssrc    uint32
+	maxSeq  uint16
+	haveMax bool
+	// missing tracks gap sequences and when the gap was first noticed.
+	missing map[uint16]time.Duration
+
+	// ReorderGrace is how long a gap may stand before it is reported
+	// lost; it must exceed the worst plausible HARQ reordering.
+	ReorderGrace time.Duration
+}
+
+// maxGapSynthesis bounds how many missing sequences one arrival may open,
+// so a sequence discontinuity (sender restart) cannot flood the state.
+const maxGapSynthesis = 128
+
+// NewFeedbackBuilder creates a builder for one media SSRC.
+func NewFeedbackBuilder(ssrc uint32) *FeedbackBuilder {
+	return &FeedbackBuilder{
+		ssrc:         ssrc,
+		missing:      make(map[uint16]time.Duration),
+		ReorderGrace: 150 * time.Millisecond,
+	}
+}
+
+// OnArrival records a received packet, opening gap candidates for any
+// sequences skipped since the highest seen.
+func (b *FeedbackBuilder) OnArrival(seq uint16, at time.Duration, ece bool) {
+	delete(b.missing, seq) // a late arrival closes its gap
+	if b.haveMax && seqNewer(seq, b.maxSeq) {
+		if gap := seq - b.maxSeq - 1; gap > 0 && gap <= maxGapSynthesis {
+			for s := b.maxSeq + 1; s != seq; s++ {
+				b.missing[s] = at
+			}
+		}
+	}
+	if !b.haveMax || seqNewer(seq, b.maxSeq) {
+		b.maxSeq = seq
+		b.haveMax = true
+	}
+	b.pending = append(b.pending, ArrivalInfo{Seq: seq, Received: true, Arrival: at, ECE: ece})
+}
+
+// ExpireGaps converts gaps older than ReorderGrace into loss entries; the
+// receiver calls it just before flushing a report.
+func (b *FeedbackBuilder) ExpireGaps(now time.Duration) {
+	for seq, first := range b.missing {
+		if now-first >= b.ReorderGrace {
+			b.pending = append(b.pending, ArrivalInfo{Seq: seq})
+			delete(b.missing, seq)
+		}
+	}
+}
+
+// seqNewer reports whether a is after b in RFC 1982 serial order.
+func seqNewer(a, b uint16) bool { return a != b && a-b < 0x8000 }
+
+// OnLoss records a packet known lost (e.g. by sequence gap at flush time).
+func (b *FeedbackBuilder) OnLoss(seq uint16) {
+	b.pending = append(b.pending, ArrivalInfo{Seq: seq})
+}
+
+// Flush cuts a report containing everything since the previous flush, or
+// nil if nothing is pending.
+func (b *FeedbackBuilder) Flush() *Feedback {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	f := &Feedback{SSRC: b.ssrc, Reports: b.pending}
+	b.pending = nil
+	return f
+}
+
+// Pending reports the number of unflushed arrivals.
+func (b *FeedbackBuilder) Pending() int { return len(b.pending) }

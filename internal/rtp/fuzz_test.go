@@ -1,0 +1,75 @@
+package rtp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Parser robustness: arbitrary bytes must never panic and must either
+// parse into a consistent packet or return an error — the capture path
+// feeds these parsers whatever is on the wire.
+
+func TestUnmarshalRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var p Packet
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if err := p.Unmarshal(buf); err == nil {
+			// A successful parse must be internally consistent.
+			if p.PayloadLen < 0 || p.PayloadLen > n {
+				t.Fatalf("inconsistent PayloadLen %d for %d bytes", p.PayloadLen, n)
+			}
+		}
+	}
+}
+
+func TestUnmarshalMutatedValidPackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	src := &Packet{
+		PayloadType: PayloadTypeVideo, Seq: 7, Timestamp: 1234, SSRC: 99,
+		HasSVC: true, SVC: LayerBase, HasMeta: true,
+		Meta:     MediaMeta{Streams: 1, FrameRateFPS: 28, AudioRateHz: 5000, FrameSizeBytes: 4000},
+		HasTWSeq: true, TWSeq: 55, PayloadLen: 40,
+	}
+	base := src.Marshal()
+	var p Packet
+	for i := 0; i < 20000; i++ {
+		buf := make([]byte, len(base))
+		copy(buf, base)
+		// Flip a few random bytes.
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+		}
+		_ = p.Unmarshal(buf) // must not panic
+	}
+}
+
+func TestUnmarshalFeedbackRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(128)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if fb, err := UnmarshalFeedback(buf); err == nil {
+			// Entry count must match what the header promised and fit
+			// the buffer.
+			if len(fb.Reports)*feedbackEntrySize+6 > n {
+				t.Fatalf("overread: %d reports from %d bytes", len(fb.Reports), n)
+			}
+		}
+	}
+}
+
+func TestUnmarshalTruncationsOfValidPacket(t *testing.T) {
+	src := &Packet{
+		PayloadType: PayloadTypeAudio, Seq: 1, SSRC: 5,
+		HasSVC: true, SVC: LayerAudio, HasTWSeq: true, TWSeq: 9, PayloadLen: 20,
+	}
+	full := src.Marshal()
+	var p Packet
+	for cut := 0; cut <= len(full); cut++ {
+		_ = p.Unmarshal(full[:cut]) // all prefixes must be safe
+	}
+}

@@ -1,0 +1,271 @@
+// Package rtp implements the subset of the Real-time Transport Protocol
+// (RFC 3550) that Athena's measurement and mitigation pipeline needs:
+// header marshal/unmarshal, the one-byte header-extension mechanism
+// (RFC 8285), the SVC temporal-layer extension the paper observed Zoom
+// using, the media-metadata extension proposed in §5.2 for application-
+// aware RAN scheduling, and transport-wide congestion-control feedback.
+//
+// Packets are serialized to real bytes and parsed back: capture points see
+// what an on-path pcap parser would see, and the marshal/unmarshal pair is
+// property-tested for round-trip fidelity.
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the RTP protocol version (always 2).
+const Version = 2
+
+// HeaderSize is the fixed RTP header size without CSRCs or extensions.
+const HeaderSize = 12
+
+// Payload type values used by the simulated VCA (dynamic range 96-127).
+const (
+	PayloadTypeVideo = 98
+	PayloadTypeAudio = 111
+)
+
+// Extension element IDs (one-byte RFC 8285 form).
+const (
+	ExtIDSVCLayer  = 1 // temporal SVC layer of this packet's frame
+	ExtIDMediaMeta = 2 // §5.2 media metadata for app-aware scheduling
+	ExtIDTWSeq     = 3 // transport-wide sequence number
+)
+
+// SVC temporal layer identifiers, matching the paper's Fig 8 legend.
+type SVCLayer uint8
+
+// Layers of the Zoom-like temporal scalability scheme: a base layer at 7
+// or 14 fps plus an enhancement layer reaching 14 or 28 fps. Zoom uses a
+// distinct identifier for the enhancement layer when the target rate is
+// 14 fps ("Low-FPS Enhancement").
+const (
+	LayerBase SVCLayer = iota
+	LayerLowFPSEnhancement
+	LayerHighFPSEnhancement
+	LayerAudio // audio is not SVC; the value tags audio packets uniformly
+)
+
+// String names the layer as in Fig 8.
+func (l SVCLayer) String() string {
+	switch l {
+	case LayerBase:
+		return "Base"
+	case LayerLowFPSEnhancement:
+		return "Low-FPS Enhanc."
+	case LayerHighFPSEnhancement:
+		return "High-FPS Enhanc."
+	case LayerAudio:
+		return "Audio"
+	}
+	return fmt.Sprintf("SVCLayer(%d)", uint8(l))
+}
+
+// MediaMeta is the §5.2 header extension: enough application-layer
+// information for the RAN to issue grants exactly when media is generated.
+type MediaMeta struct {
+	Streams        uint8  // streams originating at this sender
+	FrameRateFPS   uint8  // current video frame rate
+	AudioRateHz    uint16 // audio sampling cadence (packets/s * 100)
+	FrameSizeBytes uint32 // periodically updated current frame size estimate
+}
+
+// Packet is a parsed RTP packet.
+type Packet struct {
+	PayloadType uint8
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+	Marker      bool
+
+	// Extensions. HasSVC/HasMeta/HasTWSeq report presence.
+	SVC      SVCLayer
+	HasSVC   bool
+	Meta     MediaMeta
+	HasMeta  bool
+	TWSeq    uint16
+	HasTWSeq bool
+
+	// PayloadLen is the media payload length in bytes; the simulator does
+	// not materialize media bytes, only their length.
+	PayloadLen int
+
+	// FrameID ties the packet to its source frame or audio sample. It is
+	// simulation metadata (not serialized); the correlator must recover
+	// the grouping from Timestamp/Marker as the paper does.
+	FrameID uint64
+}
+
+// RTPHeaderInfo implements packet.RTPInfo so capture points can copy
+// header fields the way a pcap parser would.
+func (p *Packet) RTPHeaderInfo() (ssrc uint32, seq uint16, ts uint32, marker, mediaMeta bool) {
+	return p.SSRC, p.Seq, p.Timestamp, p.Marker, p.HasMeta
+}
+
+// WireSize reports the on-the-wire RTP size: header + extensions + payload.
+func (p *Packet) WireSize() int {
+	return HeaderSize + p.extWireSize() + p.PayloadLen
+}
+
+func (p *Packet) extWireSize() int {
+	n := 0
+	if p.HasSVC {
+		n += 2 // id/len byte + 1 data byte
+	}
+	if p.HasMeta {
+		n += 9 // id/len byte + 8 data bytes
+	}
+	if p.HasTWSeq {
+		n += 3 // id/len byte + 2 data bytes
+	}
+	if n == 0 {
+		return 0
+	}
+	// RFC 8285 one-byte header: 4-byte "defined by profile" + length word,
+	// then elements padded to a 4-byte boundary.
+	padded := (n + 3) &^ 3
+	return 4 + padded
+}
+
+// Marshal serializes the packet. The payload is emitted as zeros of
+// PayloadLen bytes (media content is modeled separately).
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, p.WireSize())
+	b0 := byte(Version << 6)
+	extSize := p.extWireSize()
+	if extSize > 0 {
+		b0 |= 1 << 4
+	}
+	buf[0] = b0
+	b1 := p.PayloadType & 0x7f
+	if p.Marker {
+		b1 |= 0x80
+	}
+	buf[1] = b1
+	binary.BigEndian.PutUint16(buf[2:], p.Seq)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+
+	off := HeaderSize
+	if extSize > 0 {
+		// Profile 0xBEDE marks the one-byte extension form.
+		binary.BigEndian.PutUint16(buf[off:], 0xBEDE)
+		words := (extSize - 4) / 4
+		binary.BigEndian.PutUint16(buf[off+2:], uint16(words))
+		off += 4
+		if p.HasSVC {
+			buf[off] = byte(ExtIDSVCLayer<<4) | 0 // len-1 = 0 -> 1 byte
+			buf[off+1] = byte(p.SVC)
+			off += 2
+		}
+		if p.HasMeta {
+			buf[off] = byte(ExtIDMediaMeta<<4) | 7 // 8 bytes
+			buf[off+1] = p.Meta.Streams
+			buf[off+2] = p.Meta.FrameRateFPS
+			binary.BigEndian.PutUint16(buf[off+3:], p.Meta.AudioRateHz)
+			binary.BigEndian.PutUint32(buf[off+5:], p.Meta.FrameSizeBytes)
+			off += 9
+		}
+		if p.HasTWSeq {
+			buf[off] = byte(ExtIDTWSeq<<4) | 1 // 2 bytes
+			binary.BigEndian.PutUint16(buf[off+1:], p.TWSeq)
+			off += 3
+		}
+		// Remaining bytes up to the padded boundary are zero padding.
+		off = HeaderSize + extSize
+	}
+	// Payload bytes are already zero.
+	return buf
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrShort      = errors.New("rtp: packet too short")
+	ErrBadVersion = errors.New("rtp: unsupported version")
+	ErrBadExt     = errors.New("rtp: malformed extension")
+)
+
+// Unmarshal parses wire bytes into p, replacing its contents.
+func (p *Packet) Unmarshal(buf []byte) error {
+	if len(buf) < HeaderSize {
+		return ErrShort
+	}
+	if buf[0]>>6 != Version {
+		return ErrBadVersion
+	}
+	hasExt := buf[0]&(1<<4) != 0
+	*p = Packet{
+		Marker:      buf[1]&0x80 != 0,
+		PayloadType: buf[1] & 0x7f,
+		Seq:         binary.BigEndian.Uint16(buf[2:]),
+		Timestamp:   binary.BigEndian.Uint32(buf[4:]),
+		SSRC:        binary.BigEndian.Uint32(buf[8:]),
+	}
+	off := HeaderSize
+	if hasExt {
+		if len(buf) < off+4 {
+			return ErrBadExt
+		}
+		profile := binary.BigEndian.Uint16(buf[off:])
+		words := int(binary.BigEndian.Uint16(buf[off+2:]))
+		off += 4
+		end := off + words*4
+		if len(buf) < end {
+			return ErrBadExt
+		}
+		if profile == 0xBEDE {
+			if err := p.parseOneByteExts(buf[off:end]); err != nil {
+				return err
+			}
+		}
+		off = end
+	}
+	p.PayloadLen = len(buf) - off
+	return nil
+}
+
+func (p *Packet) parseOneByteExts(b []byte) error {
+	for i := 0; i < len(b); {
+		if b[i] == 0 { // padding
+			i++
+			continue
+		}
+		id := b[i] >> 4
+		length := int(b[i]&0x0f) + 1
+		i++
+		if i+length > len(b) {
+			return ErrBadExt
+		}
+		data := b[i : i+length]
+		switch id {
+		case ExtIDSVCLayer:
+			if length != 1 {
+				return ErrBadExt
+			}
+			p.SVC = SVCLayer(data[0])
+			p.HasSVC = true
+		case ExtIDMediaMeta:
+			if length != 8 {
+				return ErrBadExt
+			}
+			p.Meta = MediaMeta{
+				Streams:        data[0],
+				FrameRateFPS:   data[1],
+				AudioRateHz:    binary.BigEndian.Uint16(data[2:]),
+				FrameSizeBytes: binary.BigEndian.Uint32(data[4:]),
+			}
+			p.HasMeta = true
+		case ExtIDTWSeq:
+			if length != 2 {
+				return ErrBadExt
+			}
+			p.TWSeq = binary.BigEndian.Uint16(data)
+			p.HasTWSeq = true
+		}
+		i += length
+	}
+	return nil
+}

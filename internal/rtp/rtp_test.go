@@ -1,0 +1,399 @@
+package rtp
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMarshalUnmarshalBasic(t *testing.T) {
+	p := &Packet{
+		PayloadType: PayloadTypeVideo,
+		Seq:         1234,
+		Timestamp:   90000,
+		SSRC:        0xdeadbeef,
+		Marker:      true,
+		PayloadLen:  100,
+	}
+	buf := p.Marshal()
+	if len(buf) != HeaderSize+100 {
+		t.Fatalf("wire size = %d", len(buf))
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Seq != 1234 || q.Timestamp != 90000 || q.SSRC != 0xdeadbeef || !q.Marker ||
+		q.PayloadType != PayloadTypeVideo || q.PayloadLen != 100 {
+		t.Fatalf("round trip mismatch: %+v", q)
+	}
+}
+
+func TestMarshalUnmarshalAllExtensions(t *testing.T) {
+	p := &Packet{
+		PayloadType: PayloadTypeVideo,
+		Seq:         7,
+		Timestamp:   1,
+		SSRC:        42,
+		SVC:         LayerHighFPSEnhancement,
+		HasSVC:      true,
+		Meta: MediaMeta{
+			Streams: 2, FrameRateFPS: 28, AudioRateHz: 5000, FrameSizeBytes: 4200,
+		},
+		HasMeta:    true,
+		TWSeq:      999,
+		HasTWSeq:   true,
+		PayloadLen: 33,
+	}
+	var q Packet
+	if err := q.Unmarshal(p.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasSVC || q.SVC != LayerHighFPSEnhancement {
+		t.Errorf("SVC lost: %+v", q)
+	}
+	if !q.HasMeta || q.Meta != p.Meta {
+		t.Errorf("Meta lost: %+v vs %+v", q.Meta, p.Meta)
+	}
+	if !q.HasTWSeq || q.TWSeq != 999 {
+		t.Errorf("TWSeq lost: %+v", q)
+	}
+	if q.PayloadLen != 33 {
+		t.Errorf("PayloadLen = %d", q.PayloadLen)
+	}
+}
+
+// Property: marshal/unmarshal is the identity on the serialized fields.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(pt uint8, seq uint16, ts, ssrc uint32, marker bool, svc uint8,
+		hasSVC, hasMeta, hasTW bool, tw uint16, payload uint16, meta MediaMeta) bool {
+		p := &Packet{
+			PayloadType: pt & 0x7f,
+			Seq:         seq,
+			Timestamp:   ts,
+			SSRC:        ssrc,
+			Marker:      marker,
+			SVC:         SVCLayer(svc % 4),
+			HasSVC:      hasSVC,
+			Meta:        meta,
+			HasMeta:     hasMeta,
+			TWSeq:       tw,
+			HasTWSeq:    hasTW,
+			PayloadLen:  int(payload % 2000),
+		}
+		var q Packet
+		if err := q.Unmarshal(p.Marshal()); err != nil {
+			return false
+		}
+		want := *p
+		want.FrameID = 0
+		if !want.HasMeta {
+			want.Meta = MediaMeta{}
+		}
+		if !want.HasSVC {
+			want.SVC = 0
+		}
+		if !want.HasTWSeq {
+			want.TWSeq = 0
+		}
+		return reflect.DeepEqual(q, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var p Packet
+	if err := p.Unmarshal(make([]byte, 5)); err != ErrShort {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 12)
+	bad[0] = 1 << 6 // version 1
+	if err := p.Unmarshal(bad); err != ErrBadVersion {
+		t.Errorf("version: %v", err)
+	}
+	// Extension flag set but header truncated.
+	trunc := make([]byte, 13)
+	trunc[0] = Version<<6 | 1<<4
+	if err := p.Unmarshal(trunc); err != ErrBadExt {
+		t.Errorf("truncated ext: %v", err)
+	}
+	// Extension declares more words than present.
+	lie := make([]byte, 16)
+	lie[0] = Version<<6 | 1<<4
+	lie[12] = 0xBE
+	lie[13] = 0xDE
+	lie[15] = 9 // 9 words
+	if err := p.Unmarshal(lie); err != ErrBadExt {
+		t.Errorf("lying ext length: %v", err)
+	}
+}
+
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	for _, p := range []*Packet{
+		{PayloadLen: 10},
+		{HasSVC: true, PayloadLen: 10},
+		{HasSVC: true, HasMeta: true, HasTWSeq: true, PayloadLen: 1160},
+		{HasMeta: true, PayloadLen: 0},
+	} {
+		if got := len(p.Marshal()); got != p.WireSize() {
+			t.Errorf("WireSize=%d but Marshal len=%d for %+v", p.WireSize(), got, p)
+		}
+	}
+}
+
+func TestSVCLayerString(t *testing.T) {
+	for l, want := range map[SVCLayer]string{
+		LayerBase:               "Base",
+		LayerLowFPSEnhancement:  "Low-FPS Enhanc.",
+		LayerHighFPSEnhancement: "High-FPS Enhanc.",
+		LayerAudio:              "Audio",
+	} {
+		if l.String() != want {
+			t.Errorf("%d -> %q", l, l.String())
+		}
+	}
+	if SVCLayer(9).String() != "SVCLayer(9)" {
+		t.Error("unknown layer formatting")
+	}
+}
+
+func TestRTPHeaderInfo(t *testing.T) {
+	p := &Packet{SSRC: 5, Seq: 6, Timestamp: 7, Marker: true, HasMeta: true}
+	ssrc, seq, ts, m, meta := p.RTPHeaderInfo()
+	if ssrc != 5 || seq != 6 || ts != 7 || !m || !meta {
+		t.Fatal("RTPHeaderInfo mismatch")
+	}
+}
+
+func TestPacketizerSplitsAtMTU(t *testing.T) {
+	z := NewPacketizer(1, PayloadTypeVideo, 90000, 1000)
+	pkts := z.Packetize(Unit{Bytes: 2500, PTSSeconds: 1, SVC: LayerBase})
+	if len(pkts) != 3 {
+		t.Fatalf("got %d packets, want 3", len(pkts))
+	}
+	if pkts[0].PayloadLen != 1000 || pkts[1].PayloadLen != 1000 || pkts[2].PayloadLen != 500 {
+		t.Fatalf("sizes: %d %d %d", pkts[0].PayloadLen, pkts[1].PayloadLen, pkts[2].PayloadLen)
+	}
+	// Only last packet marked.
+	if pkts[0].Marker || pkts[1].Marker || !pkts[2].Marker {
+		t.Fatal("marker placement wrong")
+	}
+	// Shared timestamp, sequential seqs, shared frame id.
+	for i, p := range pkts {
+		if p.Timestamp != 90000 {
+			t.Errorf("ts[%d] = %d", i, p.Timestamp)
+		}
+		if p.Seq != uint16(i) {
+			t.Errorf("seq[%d] = %d", i, p.Seq)
+		}
+		if p.FrameID != pkts[0].FrameID {
+			t.Errorf("frame id differs")
+		}
+		if !p.HasSVC || p.SVC != LayerBase {
+			t.Errorf("SVC missing on %d", i)
+		}
+	}
+}
+
+func TestPacketizerSeqWraps(t *testing.T) {
+	z := NewPacketizer(1, PayloadTypeAudio, 48000, 1000)
+	z.seq = 65534
+	pkts := z.Packetize(Unit{Bytes: 2500})
+	if pkts[0].Seq != 65534 || pkts[1].Seq != 65535 || pkts[2].Seq != 0 {
+		t.Fatalf("wrap: %d %d %d", pkts[0].Seq, pkts[1].Seq, pkts[2].Seq)
+	}
+}
+
+func TestPacketizerMetaOnFirstOnly(t *testing.T) {
+	z := NewPacketizer(1, PayloadTypeVideo, 90000, 1000)
+	z.AttachMeta = true
+	z.Meta = MediaMeta{FrameRateFPS: 30}
+	pkts := z.Packetize(Unit{Bytes: 2100})
+	if !pkts[0].HasMeta || pkts[1].HasMeta || pkts[2].HasMeta {
+		t.Fatal("meta should be on first packet only")
+	}
+}
+
+func TestPacketizeEmpty(t *testing.T) {
+	z := NewPacketizer(1, PayloadTypeVideo, 90000, 1000)
+	if got := z.Packetize(Unit{Bytes: 0}); got != nil {
+		t.Fatal("empty unit should produce no packets")
+	}
+}
+
+func TestPacketizerDistinctFrameIDs(t *testing.T) {
+	z := NewPacketizer(1, PayloadTypeVideo, 90000, 1000)
+	a := z.Packetize(Unit{Bytes: 100, PTSSeconds: 0})
+	b := z.Packetize(Unit{Bytes: 100, PTSSeconds: 0.033})
+	if a[0].FrameID == b[0].FrameID {
+		t.Fatal("frame ids should differ")
+	}
+}
+
+func TestPacketizerDefaultMTU(t *testing.T) {
+	z := NewPacketizer(1, PayloadTypeVideo, 90000, 0)
+	if z.MTUPayload <= 0 {
+		t.Fatal("default MTU not applied")
+	}
+}
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	f := &Feedback{
+		SSRC: 77,
+		Reports: []ArrivalInfo{
+			{Seq: 1, Received: true, Arrival: 5 * time.Millisecond},
+			{Seq: 2, Received: false},
+			{Seq: 3, Received: true, Arrival: 9 * time.Millisecond, ECE: true},
+		},
+	}
+	g, err := UnmarshalFeedback(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, g) {
+		t.Fatalf("round trip: %+v vs %+v", f, g)
+	}
+}
+
+func TestFeedbackRoundTripProperty(t *testing.T) {
+	f := func(ssrc uint32, seqs []uint16, recvMask []bool) bool {
+		fb := &Feedback{SSRC: ssrc}
+		for i, s := range seqs {
+			ri := ArrivalInfo{Seq: s}
+			if i < len(recvMask) && recvMask[i] {
+				ri.Received = true
+				ri.Arrival = time.Duration(i) * time.Millisecond
+			}
+			fb.Reports = append(fb.Reports, ri)
+		}
+		got, err := UnmarshalFeedback(fb.Marshal())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(fb, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFeedbackErrors(t *testing.T) {
+	if _, err := UnmarshalFeedback(make([]byte, 3)); err != ErrBadFeedback {
+		t.Errorf("short: %v", err)
+	}
+	// Header claims 5 entries but payload empty.
+	buf := make([]byte, 6)
+	buf[5] = 5
+	if _, err := UnmarshalFeedback(buf); err != ErrBadFeedback {
+		t.Errorf("count lie: %v", err)
+	}
+}
+
+func TestFeedbackBuilder(t *testing.T) {
+	b := NewFeedbackBuilder(9)
+	if b.Flush() != nil {
+		t.Fatal("flush of empty builder should be nil")
+	}
+	b.OnArrival(1, time.Millisecond, false)
+	// Seq 2 never arrives; its gap expires after the reorder grace.
+	b.OnArrival(3, 2*time.Millisecond, true)
+	if b.Pending() != 2 {
+		t.Fatalf("Pending = %d (gap must not report before grace)", b.Pending())
+	}
+	b.ExpireGaps(2*time.Millisecond + b.ReorderGrace)
+	f := b.Flush()
+	if f == nil || f.SSRC != 9 || len(f.Reports) != 3 {
+		t.Fatalf("flush: %+v", f)
+	}
+	var lostSeq uint16
+	lost := 0
+	for _, rep := range f.Reports {
+		if !rep.Received {
+			lost++
+			lostSeq = rep.Seq
+		} else if rep.Seq == 3 && !rep.ECE {
+			t.Error("ECE lost")
+		}
+	}
+	if lost != 1 || lostSeq != 2 {
+		t.Errorf("gap not reported lost exactly once: %+v", f.Reports)
+	}
+	if b.Pending() != 0 || b.Flush() != nil {
+		t.Error("builder not reset")
+	}
+}
+
+func TestFeedbackBuilderLateArrivalCancelsLoss(t *testing.T) {
+	b := NewFeedbackBuilder(9)
+	b.OnArrival(1, time.Millisecond, false)
+	b.OnArrival(3, 2*time.Millisecond, false) // gap: 2
+	// Seq 2 arrives 20 ms later (HARQ retransmission): within grace.
+	b.OnArrival(2, 22*time.Millisecond, false)
+	b.ExpireGaps(time.Second)
+	f := b.Flush()
+	for _, rep := range f.Reports {
+		if !rep.Received {
+			t.Fatalf("reordered packet reported lost: %+v", rep)
+		}
+	}
+}
+
+func TestFeedbackBuilderReorderNoFalseGap(t *testing.T) {
+	b := NewFeedbackBuilder(9)
+	b.OnArrival(5, time.Millisecond, false)
+	// Seq 4 arrives late (reordered): no gap opened, just the arrival.
+	b.OnArrival(4, 2*time.Millisecond, false)
+	b.ExpireGaps(time.Second)
+	f := b.Flush()
+	if len(f.Reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(f.Reports))
+	}
+	for _, r := range f.Reports {
+		if !r.Received {
+			t.Fatalf("false loss for reordered packet: %+v", r)
+		}
+	}
+}
+
+func TestFeedbackBuilderGapCap(t *testing.T) {
+	b := NewFeedbackBuilder(9)
+	b.OnArrival(0, time.Millisecond, false)
+	// A wild discontinuity must not flood the state.
+	b.OnArrival(20000, 2*time.Millisecond, false)
+	b.ExpireGaps(time.Second)
+	if b.Pending() > maxGapSynthesis+2 {
+		t.Fatalf("gap flood: %d pending", b.Pending())
+	}
+}
+
+func TestFeedbackBuilderSeqWrap(t *testing.T) {
+	b := NewFeedbackBuilder(9)
+	b.OnArrival(65534, time.Millisecond, false)
+	b.OnArrival(1, 2*time.Millisecond, false) // wraps; 65535 and 0 missing
+	b.ExpireGaps(time.Second)
+	f := b.Flush()
+	lost := 0
+	for _, r := range f.Reports {
+		if !r.Received {
+			lost++
+			if r.Seq != 65535 && r.Seq != 0 {
+				t.Fatalf("wrong synthesized seq %d", r.Seq)
+			}
+		}
+	}
+	if lost != 2 {
+		t.Fatalf("lost = %d, want 2 across the wrap", lost)
+	}
+}
+
+func TestSeqNewer(t *testing.T) {
+	if !seqNewer(2, 1) || seqNewer(1, 2) || seqNewer(5, 5) {
+		t.Fatal("basic order")
+	}
+	if !seqNewer(0, 65535) {
+		t.Fatal("wrap order")
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventSchedulingAndDispatch(b *testing.B) {
+	s := New(1)
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+time.Duration(i%100)*time.Microsecond, func() { n++ })
+		if i%1024 == 0 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+	if n != b.N {
+		b.Fatalf("dispatched %d of %d", n, b.N)
+	}
+}
+
+func BenchmarkTickerThroughput(b *testing.B) {
+	s := New(1)
+	n := 0
+	tk := s.Every(0, time.Microsecond, func() {
+		n++
+		if n >= b.N {
+			s.Stop()
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+	tk.Stop()
+}

@@ -1,0 +1,209 @@
+// Package sim implements the deterministic discrete-event engine every
+// Athena subsystem runs on.
+//
+// A Simulator owns a virtual clock and a priority queue of scheduled
+// events. Components schedule closures at absolute virtual times (or after
+// relative delays); Run drains the queue in time order. Ties are broken by
+// insertion order, so a simulation with a fixed seed is fully
+// reproducible — a property the test suite and the Athena correlator's
+// ground-truth checks depend on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   time.Duration
+	seq  uint64 // insertion order, breaks ties deterministically
+	fn   func()
+	dead bool
+	idx  int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	e *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// cancellation prevented a pending execution.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	return true
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; create one with New.
+type Simulator struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	// Horizon, when nonzero, stops Run once the clock passes it.
+	horizon time.Duration
+	stopped bool
+}
+
+// New creates a Simulator whose random streams derive from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source. Components
+// that need independent streams should use NewStream.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// NewStream derives an independent deterministic random stream. Each call
+// produces a distinct stream; the sequence of calls must itself be
+// deterministic for reproducibility.
+func (s *Simulator) NewStream() *rand.Rand {
+	return rand.New(rand.NewSource(s.rng.Int63()))
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a causality bug in the caller.
+func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Timer{e: e}
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn at t, t+period, t+2*period, ... until the returned
+// Ticker is stopped or the simulation ends.
+func (s *Simulator) Every(start, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every requires positive period")
+	}
+	tk := &Ticker{sim: s, period: period, fn: fn}
+	tk.timer = s.At(start, tk.fire)
+	return tk
+}
+
+// Ticker repeatedly reschedules a callback.
+type Ticker struct {
+	sim     *Simulator
+	period  time.Duration
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+func (tk *Ticker) fire() {
+	if tk.stopped {
+		return
+	}
+	tk.fn()
+	if tk.stopped { // fn may stop the ticker
+		return
+	}
+	tk.timer = tk.sim.After(tk.period, tk.fire)
+}
+
+// Stop cancels future ticks.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	if tk.timer != nil {
+		tk.timer.Stop()
+	}
+}
+
+// Stop halts Run after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// RunUntil executes events in time order until the queue is empty or the
+// clock would pass horizon. The clock finishes at min(horizon, last event)
+// and is advanced to horizon on return.
+func (s *Simulator) RunUntil(horizon time.Duration) {
+	s.horizon = horizon
+	for s.queue.Len() > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes all events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	for s.queue.Len() > 0 && !s.stopped {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// Pending reports the number of live scheduled events (cancelled timers
+// may still be counted until they surface).
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(3*time.Millisecond, func() { order = append(order, 3) })
+	s.At(1*time.Millisecond, func() { order = append(order, 1) })
+	s.At(2*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.After(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("nested After fired at %v", at)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatal("negative delay should fire immediately at t=0")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopNil(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("nil timer Stop should be false")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	tk := s.Every(0, 10*time.Millisecond, func() {
+		times = append(times, s.Now())
+	})
+	s.At(35*time.Millisecond, func() { tk.Stop() })
+	s.Run()
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v", times)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.Every(0, time.Millisecond, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestEveryRequiresPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Every(0, 0, func() {})
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New(1)
+	fired := []time.Duration{}
+	s.At(time.Second, func() { fired = append(fired, s.Now()) })
+	s.At(3*time.Second, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want horizon", s.Now())
+	}
+	// Remaining event still pending.
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Every(0, time.Millisecond, func() {
+		n++
+		if n == 5 {
+			s.Stop()
+		}
+	})
+	s.Run()
+	if n != 5 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := New(99)
+		var vals []int64
+		r := s.NewStream()
+		s.Every(0, time.Millisecond, func() {
+			vals = append(vals, r.Int63n(1000))
+			if len(vals) >= 50 {
+				s.Stop()
+			}
+		})
+		s.Run()
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	s := New(5)
+	r1, r2 := s.NewStream(), s.NewStream()
+	same := true
+	for i := 0; i < 10; i++ {
+		if r1.Int63() != r2.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("streams should differ")
+	}
+}
+
+// Property: any batch of randomly-timed events executes in sorted order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		s := New(3)
+		var got []time.Duration
+		for _, d := range delaysMs {
+			at := time.Duration(d) * time.Millisecond
+			s.At(at, func() { got = append(got, s.Now()) })
+		}
+		s.Run()
+		want := make([]time.Duration, len(delaysMs))
+		for i, d := range delaysMs {
+			want[i] = time.Duration(d) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelled timers never fire regardless of interleaving.
+func TestCancelledNeverFiresProperty(t *testing.T) {
+	f := func(delays []uint8, cancelMask []bool) bool {
+		s := New(4)
+		firedCancelled := false
+		for i, d := range delays {
+			cancel := i < len(cancelMask) && cancelMask[i]
+			tm := s.At(time.Duration(d)*time.Millisecond, func() {
+				if cancel {
+					firedCancelled = true
+				}
+			})
+			if cancel {
+				tm.Stop()
+			}
+		}
+		s.Run()
+		return !firedCancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCountsLiveOnly(t *testing.T) {
+	s := New(1)
+	s.At(time.Second, func() {})
+	tm := s.At(2*time.Second, func() {})
+	tm.Stop()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace serializes Athena's collected cross-layer traces — packet
+// capture records and per-TB PHY telemetry — to CSV and JSON, and merges
+// them into a single time-ordered event log. cmd/athena-trace uses it to
+// dump a run; cmd/athena-analyze parses the same formats back.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/telemetry"
+)
+
+// Event is one merged cross-layer event, tagged by Layer: "net" for a
+// capture record, "phy" for a TB attempt.
+type Event struct {
+	At    time.Duration `json:"at_ns"`
+	Layer string        `json:"layer"`
+
+	// net fields
+	Point string `json:"point,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	Flow  uint32 `json:"flow,omitempty"`
+	Seq   uint32 `json:"seq,omitempty"`
+	Size  int64  `json:"size,omitempty"`
+
+	// phy fields
+	TBID  uint64 `json:"tb_id,omitempty"`
+	UE    uint32 `json:"ue,omitempty"`
+	TBS   int64  `json:"tbs,omitempty"`
+	Used  int64  `json:"used,omitempty"`
+	Grant string `json:"grant,omitempty"`
+	Round int    `json:"harq_round,omitempty"`
+	Fail  bool   `json:"failed,omitempty"`
+}
+
+// Merge interleaves capture records and TB attempts into one time-ordered
+// event stream.
+func Merge(records []packet.Record, tbs []telemetry.TBRecord) []Event {
+	evs := make([]Event, 0, len(records)+len(tbs))
+	for _, r := range records {
+		evs = append(evs, Event{
+			At: r.LocalTime, Layer: "net",
+			Point: r.Point.String(), Kind: r.Kind.String(),
+			Flow: r.Flow, Seq: r.Seq, Size: int64(r.Size),
+		})
+	}
+	for _, tb := range tbs {
+		evs = append(evs, Event{
+			At: tb.At, Layer: "phy",
+			TBID: tb.TBID, UE: tb.UE, TBS: int64(tb.TBS), Used: int64(tb.UsedBytes),
+			Grant: tb.Grant.String(), Round: tb.HARQRound, Fail: tb.Failed,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// WriteJSON emits one JSON object per line (JSONL).
+func WriteJSON(w io.Writer, evs []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range evs {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSON parses a JSONL event stream.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// packetCSVHeader is the column layout of WritePacketCSV.
+var packetCSVHeader = []string{"at_us", "point", "kind", "flow", "seq", "size"}
+
+// WritePacketCSV emits capture records as CSV.
+func WritePacketCSV(w io.Writer, records []packet.Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(packetCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			strconv.FormatInt(int64(r.LocalTime/time.Microsecond), 10),
+			r.Point.String(),
+			r.Kind.String(),
+			strconv.FormatUint(uint64(r.Flow), 10),
+			strconv.FormatUint(uint64(r.Seq), 10),
+			strconv.FormatInt(int64(r.Size), 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tbCSVHeader is the column layout of WriteTBCSV.
+var tbCSVHeader = []string{"at_us", "tb_id", "ue", "tbs", "used", "grant", "harq_round", "failed"}
+
+// WriteTBCSV emits TB telemetry as CSV.
+func WriteTBCSV(w io.Writer, tbs []telemetry.TBRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(tbCSVHeader); err != nil {
+		return err
+	}
+	for _, tb := range tbs {
+		row := []string{
+			strconv.FormatInt(int64(tb.At/time.Microsecond), 10),
+			strconv.FormatUint(tb.TBID, 10),
+			strconv.FormatUint(uint64(tb.UE), 10),
+			strconv.FormatInt(int64(tb.TBS), 10),
+			strconv.FormatInt(int64(tb.UsedBytes), 10),
+			tb.Grant.String(),
+			strconv.Itoa(tb.HARQRound),
+			strconv.FormatBool(tb.Failed),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary renders a one-paragraph description of an event stream.
+func Summary(evs []Event) string {
+	var net, phy int
+	var span time.Duration
+	for _, e := range evs {
+		if e.Layer == "net" {
+			net++
+		} else {
+			phy++
+		}
+		if e.At > span {
+			span = e.At
+		}
+	}
+	return fmt.Sprintf("%d events (%d net, %d phy) spanning %v", len(evs), net, phy, span)
+}

@@ -1,0 +1,106 @@
+// Package units provides the small set of measurement types shared by every
+// Athena subsystem: bit rates, byte counts, and helpers for converting
+// between bytes-on-the-wire and transmission time at a given rate.
+//
+// All simulation time is expressed as time.Duration offsets from the start
+// of the simulation (virtual time); units deliberately does not define its
+// own time type.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// BitRate is a data rate in bits per second.
+type BitRate int64
+
+// Common bit-rate constants.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+)
+
+// String formats the rate using the largest unit that keeps the value >= 1.
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/float64(Kbps))
+	}
+	return fmt.Sprintf("%dbps", int64(r))
+}
+
+// Kbits reports the rate in kilobits per second as a float.
+func (r BitRate) Kbits() float64 { return float64(r) / float64(Kbps) }
+
+// ByteCount is a size in bytes.
+type ByteCount int64
+
+// Common byte-size constants.
+const (
+	Byte ByteCount = 1
+	KB             = 1000 * Byte
+	MB             = 1000 * KB
+)
+
+// Bits reports the size in bits.
+func (b ByteCount) Bits() int64 { return int64(b) * 8 }
+
+// String formats the size with a unit suffix.
+func (b ByteCount) String() string {
+	switch {
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// TransmitTime reports how long sending b bytes takes at rate r.
+// It returns 0 for non-positive rates (treated as infinitely fast), which
+// keeps degenerate configurations from dividing by zero.
+func TransmitTime(b ByteCount, r BitRate) time.Duration {
+	if r <= 0 || b <= 0 {
+		return 0
+	}
+	// bits * (ns per second) / (bits per second), computed in float to
+	// avoid overflow for large sizes at low rates.
+	ns := float64(b.Bits()) * float64(time.Second) / float64(r)
+	return time.Duration(ns)
+}
+
+// BytesOver reports how many whole bytes rate r delivers in d.
+func BytesOver(r BitRate, d time.Duration) ByteCount {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	bits := float64(r) * d.Seconds()
+	return ByteCount(bits / 8)
+}
+
+// RateOf reports the average rate achieved by sending b bytes in d.
+// It returns 0 when d is non-positive.
+func RateOf(b ByteCount, d time.Duration) BitRate {
+	if d <= 0 {
+		return 0
+	}
+	return BitRate(float64(b.Bits()) / d.Seconds())
+}
+
+// ClampRate limits r to the inclusive range [lo, hi].
+func ClampRate(r, lo, hi BitRate) BitRate {
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}

@@ -1,0 +1,133 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		r    BitRate
+		want string
+	}{
+		{500, "500bps"},
+		{1500, "1.50Kbps"},
+		{2 * Mbps, "2.00Mbps"},
+		{3 * Gbps, "3.00Gbps"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("BitRate(%d).String() = %q, want %q", int64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestByteCountString(t *testing.T) {
+	cases := []struct {
+		b    ByteCount
+		want string
+	}{
+		{12, "12B"},
+		{1500, "1.50KB"},
+		{2 * MB, "2.00MB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("ByteCount(%d).String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestByteCountBits(t *testing.T) {
+	if got := ByteCount(100).Bits(); got != 800 {
+		t.Fatalf("Bits() = %d, want 800", got)
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	// 1250 bytes at 10 Mbps = 10000 bits / 10^7 bps = 1 ms.
+	got := TransmitTime(1250, 10*Mbps)
+	if got != time.Millisecond {
+		t.Fatalf("TransmitTime = %v, want 1ms", got)
+	}
+}
+
+func TestTransmitTimeDegenerate(t *testing.T) {
+	if got := TransmitTime(1000, 0); got != 0 {
+		t.Errorf("zero rate: got %v, want 0", got)
+	}
+	if got := TransmitTime(0, Mbps); got != 0 {
+		t.Errorf("zero bytes: got %v, want 0", got)
+	}
+	if got := TransmitTime(-5, Mbps); got != 0 {
+		t.Errorf("negative bytes: got %v, want 0", got)
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	// 8 Mbps for 1 second = 1 MB.
+	if got := BytesOver(8*Mbps, time.Second); got != 1000000 {
+		t.Fatalf("BytesOver = %d, want 1000000", got)
+	}
+	if got := BytesOver(Mbps, -time.Second); got != 0 {
+		t.Fatalf("negative duration: got %d, want 0", got)
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	// 1250 bytes in 1 ms = 10 Mbps.
+	if got := RateOf(1250, time.Millisecond); got != 10*Mbps {
+		t.Fatalf("RateOf = %v, want 10Mbps", got)
+	}
+	if got := RateOf(1250, 0); got != 0 {
+		t.Fatalf("zero duration: got %v, want 0", got)
+	}
+}
+
+func TestClampRate(t *testing.T) {
+	if got := ClampRate(5*Mbps, Mbps, 2*Mbps); got != 2*Mbps {
+		t.Errorf("clamp high: got %v", got)
+	}
+	if got := ClampRate(0, Mbps, 2*Mbps); got != Mbps {
+		t.Errorf("clamp low: got %v", got)
+	}
+	if got := ClampRate(1500*Kbps, Mbps, 2*Mbps); got != 1500*Kbps {
+		t.Errorf("in range: got %v", got)
+	}
+}
+
+// TransmitTime and BytesOver should be approximate inverses: sending the
+// bytes that fit in d at rate r should take about d.
+func TestTransmitTimeBytesOverRoundTrip(t *testing.T) {
+	f := func(rateKbps uint16, ms uint8) bool {
+		r := BitRate(rateKbps+1) * Kbps
+		d := time.Duration(ms+1) * time.Millisecond
+		b := BytesOver(r, d)
+		back := TransmitTime(b, r)
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		// One byte of quantization error at rate r.
+		return diff <= TransmitTime(1, r)+time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RateOf(TransmitTime) should recover the original rate within rounding.
+func TestRateOfTransmitTimeRoundTrip(t *testing.T) {
+	f := func(rateKbps uint16, kb uint8) bool {
+		r := BitRate(rateKbps+1) * Kbps
+		b := ByteCount(kb+1) * KB
+		d := TransmitTime(b, r)
+		got := RateOf(b, d)
+		ratio := float64(got) / float64(r)
+		return ratio > 0.999 && ratio < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package vca
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/cc/gcc"
+	"athena/internal/netem"
+	"athena/internal/packet"
+	"athena/internal/sim"
+	"athena/internal/units"
+)
+
+// impairHarness wires the sender and receiver through an Impairer.
+func impairHarness(t *testing.T, mut func(*netem.Impairer)) *harness {
+	t.Helper()
+	s := sim.New(1)
+	var alloc packet.Alloc
+	g := gcc.New(800*units.Kbps, 100*units.Kbps, 2*units.Mbps)
+	h := &harness{s: s, g: g}
+	im := netem.NewImpairer(s, packet.HandlerFunc(func(p *packet.Packet) {
+		s.After(20*time.Millisecond, func() { h.rcv.Handle(p) })
+	}))
+	mut(im)
+	h.snd = NewSender(s, &alloc, SenderConfig{
+		VideoSSRC: 1, AudioSSRC: 2, Controller: g, Seed: 7,
+	}, im)
+	back := packet.HandlerFunc(func(p *packet.Packet) {
+		s.After(5*time.Millisecond, func() { h.snd.HandleFeedback(p) })
+	})
+	h.rcv = NewReceiver(s, &alloc, 1, h.snd.FrameStore, back)
+	h.snd.Start()
+	h.rcv.Start()
+	return h
+}
+
+func TestReceiverSurvivesReordering(t *testing.T) {
+	h := impairHarness(t, func(im *netem.Impairer) {
+		im.ReorderProb = 0.15
+		im.ReorderDelay = 8 * time.Millisecond
+	})
+	h.s.RunUntil(10 * time.Second)
+	// Reordered packets delay frames but do not lose them: nearly all
+	// frames should still complete and display.
+	displayed := h.rcv.Renderer.DisplayTimes.Len()
+	if displayed < 200 {
+		t.Fatalf("only %d frames displayed under reordering", displayed)
+	}
+	if h.rcv.LostFrames > 0 {
+		t.Fatalf("reordering alone stranded %d frames", h.rcv.LostFrames)
+	}
+}
+
+func TestReceiverDeduplicatesFrames(t *testing.T) {
+	h := impairHarness(t, func(im *netem.Impairer) {
+		im.DupProb = 0.3
+	})
+	h.s.RunUntil(10 * time.Second)
+	// Displayed frame sequence must be strictly increasing: a duplicate
+	// must never re-display a frame.
+	vals := h.rcv.Renderer.DisplayTimes.Values()
+	seen := map[float64]bool{}
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("frame %v displayed twice", v)
+		}
+		seen[v] = true
+	}
+	if len(vals) < 200 {
+		t.Fatalf("only %d frames displayed under duplication", len(vals))
+	}
+}
+
+func TestReceiverUnderLossReportsAndRecovers(t *testing.T) {
+	mild := impairHarness(t, func(im *netem.Impairer) {
+		im.LossProb = 0.05
+	})
+	mild.s.RunUntil(15 * time.Second)
+	if mild.rcv.LostFrames == 0 {
+		t.Fatal("5% loss should strand some frames")
+	}
+	// GCC deliberately tolerates loss under 10% — the rate may sit at the
+	// ceiling — but the call must go on.
+	if mild.rcv.Renderer.DisplayTimes.Len() < 150 {
+		t.Fatalf("only %d frames displayed", mild.rcv.Renderer.DisplayTimes.Len())
+	}
+
+	heavy := impairHarness(t, func(im *netem.Impairer) {
+		im.LossProb = 0.15
+	})
+	heavy.s.RunUntil(15 * time.Second)
+	// Above the 10% threshold the loss controller must engage.
+	if heavy.g.TargetRate() >= 2*units.Mbps {
+		t.Fatalf("rate at ceiling despite 15%% loss: %v", heavy.g.TargetRate())
+	}
+}
+
+func TestMouthToEarTracksJitterBuffer(t *testing.T) {
+	calm := newHarness(t, fixedDelay(20*time.Millisecond))
+	calm.s.RunUntil(8 * time.Second)
+	m2e := calm.rcv.Renderer.MouthToEarMS
+	if len(m2e) == 0 {
+		t.Fatal("no mouth-to-ear samples")
+	}
+	// Fixed 20 ms path + min jitter buffer: mouth-to-ear in the tens of
+	// ms, strictly above the network delay.
+	for _, v := range m2e {
+		if v < 20 || v > 500 {
+			t.Fatalf("mouth-to-ear %v ms implausible", v)
+		}
+	}
+
+	// A jittery path should push mouth-to-ear up (buffer expansion).
+	i := 0
+	wild := newHarness(t, func(p *packet.Packet) time.Duration {
+		i++
+		if i%5 == 0 {
+			return 120 * time.Millisecond
+		}
+		return 20 * time.Millisecond
+	})
+	wild.s.RunUntil(8 * time.Second)
+	calmMean := mean(calm.rcv.Renderer.MouthToEarMS)
+	wildMean := mean(wild.rcv.Renderer.MouthToEarMS)
+	if wildMean <= calmMean {
+		t.Fatalf("jitter should raise mouth-to-ear: calm=%.1f wild=%.1f", calmMean, wildMean)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

