@@ -1,6 +1,7 @@
 package athena
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"athena/internal/core"
 	"athena/internal/packet"
 	"athena/internal/ran"
+	"athena/internal/runner"
 	"athena/internal/sim"
 	"athena/internal/stats"
 	"athena/internal/telemetry"
@@ -19,8 +21,9 @@ import (
 // calls out as the root of Fig 5's distribution.
 func A1(o Options) *FigureData {
 	fig := newFigure("A1", "Ablation: BSR scheduling delay vs frame delay spread")
-	var pts []stats.Point
-	for _, sd := range []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond, 20 * time.Millisecond} {
+	delays := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond, 20 * time.Millisecond}
+	cfgs := make([]Config, len(delays))
+	for i, sd := range delays {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(30 * time.Second)
@@ -30,11 +33,14 @@ func A1(o Options) *FigureData {
 		// Pin the media rate high enough that frames outgrow the
 		// proactive drain and the BSR cycle governs the spread.
 		cfg.InitialRate, cfg.MinRate, cfg.MaxRate = 2*units.Mbps, 2*units.Mbps, 2*units.Mbps
-		res := Run(cfg)
+		cfgs[i] = cfg
+	}
+	var pts []stats.Point
+	for i, res := range RunAll(cfgs) {
 		_, coreSp := res.Report.SpreadsMS()
-		p90 := stats.Quantile(coreSp, 0.9)
-		pts = append(pts, stats.Point{X: ms(sd), Y: p90})
-		fig.Scalars[fmt.Sprintf("spread_p90_ms@sched=%v", sd)] = p90
+		p90 := stats.QuantileInPlace(coreSp, 0.9)
+		pts = append(pts, stats.Point{X: ms(delays[i]), Y: p90})
+		fig.Scalars[fmt.Sprintf("spread_p90_ms@sched=%v", delays[i])] = p90
 	}
 	fig.add("p90 core delay spread vs sched delay (x=ms)", pts)
 	fig.note("spread grows with the BSR scheduling delay: frames wait longer for the requested grant")
@@ -45,15 +51,20 @@ func A1(o Options) *FigureData {
 // large grants waste capacity (efficiency of proactive TBs drops).
 func A2(o Options) *FigureData {
 	fig := newFigure("A2", "Ablation: proactive grant size — spread vs waste tradeoff")
-	var spreadPts, effPts []stats.Point
-	for _, tbs := range []units.ByteCount{800, 1600, 3200, 6000} {
+	sizes := []units.ByteCount{800, 1600, 3200, 6000}
+	cfgs := make([]Config, len(sizes))
+	for i, tbs := range sizes {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(30 * time.Second)
 		cfg.RAN.BLER = 0
 		cfg.RAN.FadeMeanBad = 0
 		cfg.RAN.ProactiveTBS = tbs
-		res := Run(cfg)
+		cfgs[i] = cfg
+	}
+	var spreadPts, effPts []stats.Point
+	for i, res := range RunAll(cfgs) {
+		tbs := sizes[i]
 		_, coreSp := res.Report.SpreadsMS()
 		var pro []telemetry.TBRecord
 		for _, r := range res.RAN.Telemetry.ForUE(1) {
@@ -62,7 +73,7 @@ func A2(o Options) *FigureData {
 			}
 		}
 		eff := telemetry.WasteOf(pro).Efficiency()
-		p90 := stats.Quantile(coreSp, 0.9)
+		p90 := stats.QuantileInPlace(coreSp, 0.9)
 		spreadPts = append(spreadPts, stats.Point{X: float64(tbs), Y: p90})
 		effPts = append(effPts, stats.Point{X: float64(tbs), Y: eff})
 		fig.Scalars[fmt.Sprintf("spread_p90_ms@tbs=%d", tbs)] = p90
@@ -78,17 +89,21 @@ func A2(o Options) *FigureData {
 // HARQ round adds 10 ms, so the p99 climbs in visible steps.
 func A3(o Options) *FigureData {
 	fig := newFigure("A3", "Ablation: BLER vs uplink delay tail")
-	var pts []stats.Point
-	for _, bler := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+	blers := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	cfgs := make([]Config, len(blers))
+	for i, bler := range blers {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(30 * time.Second)
 		cfg.RAN.BLER = bler
 		cfg.RAN.FadeMeanBad = 0
-		res := Run(cfg)
+		cfgs[i] = cfg
+	}
+	var pts []stats.Point
+	for i, res := range RunAll(cfgs) {
 		p99 := res.Report.DelaySummary(packet.KindVideo).P99
-		pts = append(pts, stats.Point{X: bler, Y: p99})
-		fig.Scalars[fmt.Sprintf("ul_p99_ms@bler=%.2f", bler)] = p99
+		pts = append(pts, stats.Point{X: blers[i], Y: p99})
+		fig.Scalars[fmt.Sprintf("ul_p99_ms@bler=%.2f", blers[i])] = p99
 	}
 	fig.add("video uplink p99 ms vs BLER", pts)
 	fig.note("the delay tail climbs with loss in ~10 ms HARQ steps")
@@ -143,21 +158,28 @@ func A4(o Options) *FigureData {
 		return id, ok
 	}
 
-	var pts []stats.Point
-	for _, errMS := range []float64{0, 2, 5, 10, 20, 40} {
+	// Correlate is a pure function of its Input (it sorts copies of the
+	// capture records), so the sweep points run concurrently against the
+	// one shared session.
+	errs := []float64{0, 2, 5, 10, 20, 40}
+	accs := make([]float64, len(errs))
+	runner.Default.ForEach(context.Background(), len(errs), func(i int) {
 		rep := core.Correlate(core.Input{
 			Sender: senderTap.Records,
 			Core:   coreTap.Records,
 			TBs:    r.Telemetry.ForUE(1),
 			Offsets: map[packet.Point]time.Duration{
-				packet.PointSender: -time.Duration(errMS * float64(time.Millisecond)),
+				packet.PointSender: -time.Duration(errs[i] * float64(time.Millisecond)),
 			},
 			SlotDuration: cfg.SlotDuration,
 			CoreDelay:    cfg.CoreDelay,
 		})
-		acc := rep.MatchAccuracy(truth, idOf)
-		pts = append(pts, stats.Point{X: errMS, Y: acc})
-		fig.Scalars[fmt.Sprintf("match_acc@err=%.0fms", errMS)] = acc
+		accs[i] = rep.MatchAccuracy(truth, idOf)
+	})
+	var pts []stats.Point
+	for i, errMS := range errs {
+		pts = append(pts, stats.Point{X: errMS, Y: accs[i]})
+		fig.Scalars[fmt.Sprintf("match_acc@err=%.0fms", errMS)] = accs[i]
 	}
 	fig.add("packet-TB match accuracy vs sync error ms", pts)
 	fig.note("matching is exact with good sync and degrades once the error exceeds the slot/burst timescale")

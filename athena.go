@@ -18,7 +18,10 @@
 package athena
 
 import (
+	"context"
+
 	"athena/internal/core"
+	"athena/internal/runner"
 	"athena/internal/scenario"
 )
 
@@ -58,5 +61,24 @@ const (
 // GCC, light channel fading).
 func DefaultConfig() Config { return scenario.Defaults() }
 
-// Run executes a scenario and correlates its traces.
-func Run(cfg Config) *Result { return scenario.Run(cfg) }
+// Run executes a scenario and correlates its traces. Runs go through the
+// shared process-wide runner: a config already executed this process
+// (same seed, same knobs) is recalled from the memoization cache and the
+// callers share one Result. Results are safe to share because their
+// accessors are pure readers; call RunFresh for a private, uncached
+// Result.
+func Run(cfg Config) *Result { return runner.Default.Run(cfg) }
+
+// RunAll executes a batch of independent scenarios, fanning them across
+// GOMAXPROCS workers while preserving input order and per-seed
+// determinism: the returned results are byte-identical to running each
+// config serially. Duplicate configs — within the batch or against the
+// process-wide cache — simulate once. Every figure, mitigation, ablation
+// and study driver submits its config sweep through this path.
+func RunAll(cfgs []Config) []*Result {
+	return runner.Default.RunAll(context.Background(), cfgs)
+}
+
+// RunFresh executes a scenario directly, bypassing the runner's cache —
+// for callers that need exclusive ownership of the Result.
+func RunFresh(cfg Config) *Result { return scenario.Run(cfg) }

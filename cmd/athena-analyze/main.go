@@ -27,10 +27,16 @@ func main() {
 	in := flag.String("in", "", "JSONL trace to summarize (default: run a live scenario)")
 	duration := flag.Duration("duration", 30*time.Second, "simulated call duration (live mode)")
 	seed := flag.Int64("seed", 1, "simulation seed (live mode)")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run (parallel) and aggregate")
 	flag.Parse()
 
 	if *in != "" {
 		summarizeFile(*in)
+		return
+	}
+
+	if *seeds > 1 {
+		analyzeSeeds(*duration, *seed, *seeds)
 		return
 	}
 
@@ -59,6 +65,35 @@ func main() {
 		res.Receiver.Renderer.DisplayTimes.Len(),
 		res.Receiver.Renderer.Stalls,
 		res.Receiver.JitterBufferTarget())
+}
+
+// analyzeSeeds runs n consecutive seeds of the default scenario through
+// the parallel runner and reports the per-seed headline numbers plus the
+// cross-seed spread — the quick answer to "is this seed representative?".
+func analyzeSeeds(duration time.Duration, first int64, n int) {
+	cfgs := make([]athena.Config, n)
+	for i := range cfgs {
+		cfg := athena.DefaultConfig()
+		cfg.Duration = duration
+		cfg.Seed = first + int64(i)
+		cfgs[i] = cfg
+	}
+	results := athena.RunAll(cfgs)
+
+	fmt.Printf("== Athena cross-layer analysis: %d seeds (%d..%d) ==\n\n", n, first, first+int64(n)-1)
+	var p50s, p95s, stalls []float64
+	for i, res := range results {
+		sum := res.Report.DelaySummary(packet.KindVideo)
+		fmt.Printf("seed %-4d video UL %s  stalls=%d\n",
+			first+int64(i), sum, res.Receiver.Renderer.Stalls)
+		p50s = append(p50s, sum.P50)
+		p95s = append(p95s, sum.P95)
+		stalls = append(stalls, float64(res.Receiver.Renderer.Stalls))
+	}
+	fmt.Println("\nacross seeds:")
+	fmt.Printf("  video UL p50 (ms): %s\n", stats.SummarizeInPlace(p50s))
+	fmt.Printf("  video UL p95 (ms): %s\n", stats.SummarizeInPlace(p95s))
+	fmt.Printf("  stalls:            %s\n", stats.SummarizeInPlace(stalls))
 }
 
 func summarizeFile(path string) {

@@ -5,6 +5,13 @@
 //	athena-bench                 # everything, full scale
 //	athena-bench -only F5,F10    # a subset
 //	athena-bench -scale 0.25     # quick pass
+//	athena-bench -parallel 4     # up to 4 drivers concurrently
+//
+// With -parallel the drivers run concurrently but their output is
+// buffered and printed in table order, so the figure content is
+// byte-identical to a serial run (only the timing lines differ). Within
+// each driver the scenario sweep itself also fans out across the shared
+// runner pool, so even -parallel 1 uses every core.
 package main
 
 import (
@@ -12,15 +19,18 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync"
 	"time"
 
 	"athena"
 )
 
-var drivers = []struct {
+type driver struct {
 	id string
 	fn func(athena.Options) *athena.FigureData
-}{
+}
+
+var drivers = []driver{
 	{"F3", athena.Fig3},
 	{"F4", athena.Fig4},
 	{"F5", athena.Fig5},
@@ -52,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
 	out := flag.String("out", "", "directory to also write per-figure CSV data into")
+	parallel := flag.Int("parallel", 1, "number of drivers to regenerate concurrently")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -61,25 +72,64 @@ func main() {
 		}
 	}
 
+	var sel []driver
+	for _, d := range drivers {
+		if len(want) == 0 || want[d.id] {
+			sel = append(sel, d)
+		}
+	}
+
 	o := athena.Options{Seed: *seed, Scale: *scale}
 	start := time.Now()
-	ran := 0
-	for _, d := range drivers {
-		if len(want) > 0 && !want[d.id] {
-			continue
-		}
+
+	// Each driver's output is buffered so concurrent drivers cannot
+	// interleave; buffers print in table order. CSV writes happen inside
+	// the worker — every driver saves to distinct files.
+	outputs := make([]string, len(sel))
+	errs := make([]error, len(sel))
+	gen := func(i int) {
+		var b strings.Builder
 		t0 := time.Now()
-		fig := d.fn(o)
-		fmt.Print(fig)
+		fig := sel[i].fn(o)
+		fmt.Fprint(&b, fig)
 		if *out != "" {
 			paths, err := fig.Save(*out)
 			if err != nil {
-				log.Fatalf("saving %s: %v", d.id, err)
+				errs[i] = fmt.Errorf("saving %s: %w", sel[i].id, err)
+				return
 			}
-			fmt.Printf("  [csv: %s]\n", strings.Join(paths, ", "))
+			fmt.Fprintf(&b, "  [csv: %s]\n", strings.Join(paths, ", "))
 		}
-		fmt.Printf("  [regenerated in %v]\n\n", time.Since(t0).Round(time.Millisecond))
-		ran++
+		fmt.Fprintf(&b, "  [regenerated in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+		outputs[i] = b.String()
 	}
-	fmt.Printf("regenerated %d artifacts in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	flush := func(i int) {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		fmt.Print(outputs[i])
+	}
+	if *parallel > 1 {
+		sem := make(chan struct{}, *parallel)
+		var wg sync.WaitGroup
+		for i := range sel {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				gen(i)
+			}(i)
+		}
+		wg.Wait()
+		for i := range sel {
+			flush(i)
+		}
+	} else {
+		for i := range sel { // serial keeps streaming output per driver
+			gen(i)
+			flush(i)
+		}
+	}
+	fmt.Printf("regenerated %d artifacts in %v\n", len(sel), time.Since(start).Round(time.Millisecond))
 }

@@ -31,6 +31,7 @@ func main() {
 
 	duration := flag.Duration("duration", 30*time.Second, "simulated call duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to trace (simulated in parallel)")
 	out := flag.String("out", "athena", "output file prefix")
 	cross := flag.Bool("cross", false, "enable the paper's cross-traffic phase schedule (time-compressed)")
 	sched := flag.String("sched", "combined", "uplink scheduler: combined|bsr|proactive|appaware|oracle")
@@ -65,8 +66,29 @@ func main() {
 		}
 	}
 
-	res := athena.Run(cfg)
+	if *seeds < 1 {
+		*seeds = 1
+	}
 
+	// Simulate every requested seed up front — the runner fans them across
+	// the cores — then write the trace files serially per seed.
+	cfgs := make([]athena.Config, *seeds)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = *seed + int64(i)
+	}
+	results := athena.RunAll(cfgs)
+
+	for i, res := range results {
+		prefix := *out
+		if *seeds > 1 {
+			prefix = fmt.Sprintf("%s.s%d", *out, cfgs[i].Seed)
+		}
+		dump(prefix, res)
+	}
+}
+
+func dump(out string, res *athena.Result) {
 	var records []packet.Record
 	records = append(records, res.CapSender.Records...)
 	records = append(records, res.CapCore.Records...)
@@ -86,9 +108,9 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", name)
 	}
-	write(*out+".packets.csv", func(f *os.File) error { return trace.WritePacketCSV(f, records) })
-	write(*out+".tbs.csv", func(f *os.File) error { return trace.WriteTBCSV(f, tbs) })
+	write(out+".packets.csv", func(f *os.File) error { return trace.WritePacketCSV(f, records) })
+	write(out+".tbs.csv", func(f *os.File) error { return trace.WriteTBCSV(f, tbs) })
 	evs := trace.Merge(records, tbs)
-	write(*out+".trace.jsonl", func(f *os.File) error { return trace.WriteJSON(f, evs) })
+	write(out+".trace.jsonl", func(f *os.File) error { return trace.WriteJSON(f, evs) })
 	fmt.Println(trace.Summary(evs))
 }

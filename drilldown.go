@@ -65,7 +65,7 @@ func Fig9b(o Options) *FigureData {
 	}
 	fig.Scalars["packets_with_harq_inflation"] = float64(len(inflations))
 	if len(inflations) > 0 {
-		fig.Scalars["harq_inflation_p50_ms"] = stats.Quantile(inflations, 0.5)
+		fig.Scalars["harq_inflation_p50_ms"] = stats.QuantileInPlace(inflations, 0.5)
 	}
 	retxEmpty := 0
 	for _, r := range res.RAN.Telemetry.ForUE(1) {

@@ -1,0 +1,213 @@
+// Package runner is the batch execution engine for scenario runs: a
+// worker pool that fans independent, deterministically-seeded simulations
+// out across GOMAXPROCS goroutines, fronted by a content-addressed
+// memoization cache.
+//
+// Every evaluation artifact (figures, mitigation studies, ablations) is a
+// loop of scenario.Run calls over configs that differ in one knob. The
+// runs are embarrassingly parallel — each owns its Simulator, RNG streams
+// and packet allocator — so RunAll executes them concurrently while
+// preserving input order in the returned slice. The cache keys on a hash
+// of the full Config (seed included): a config that several drivers share
+// (e.g. the Fig 7 baseline reused by mitigation studies) simulates once
+// per process and every caller receives the same *Result. Results are
+// safe to share because their accessors are pure readers; callers that
+// need a private, mutable Result should call scenario.Run directly.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"athena/internal/scenario"
+)
+
+// Key returns the content address of a configuration: a SHA-256 over the
+// full Config value, including the seed and every nested slice. Two
+// configs with equal keys describe byte-identical simulations, because
+// scenario.Run is a pure function of its Config.
+func Key(cfg scenario.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%#v", cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Pool executes scenario runs across a bounded set of workers with
+// process-lifetime memoization. The zero value is not usable; create one
+// with New or use the shared Default pool.
+type Pool struct {
+	sem chan struct{} // counting semaphore bounding concurrent runs
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	runFn func(scenario.Config) *scenario.Result // seam for tests
+}
+
+// entry is one memoized run. res is written exactly once, before done is
+// closed; readers load it only after <-done, so the close provides the
+// happens-before edge.
+type entry struct {
+	done chan struct{}
+	res  *scenario.Result
+}
+
+// New creates a pool running at most workers simulations concurrently.
+// workers <= 0 selects GOMAXPROCS. The bound is global across concurrent
+// RunAll calls on the same pool, so nesting batch submissions cannot
+// oversubscribe the machine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		sem:   make(chan struct{}, workers),
+		cache: make(map[string]*entry),
+		runFn: scenario.Run,
+	}
+}
+
+// Default is the process-wide pool every driver and CLI submits through;
+// sharing one pool is what lets configs reused across drivers simulate
+// once per process.
+var Default = New(0)
+
+// Run executes (or recalls) a single scenario through the pool.
+func (p *Pool) Run(cfg scenario.Config) *scenario.Result {
+	return p.RunAll(context.Background(), []scenario.Config{cfg})[0]
+}
+
+// RunAll executes every config and returns the results in input order.
+// Distinct configs run concurrently across the pool's workers; duplicate
+// configs — within the batch, across batches, or already cached — execute
+// once and share a Result. Determinism is unaffected by scheduling: each
+// run's randomness derives only from its own config's seed.
+//
+// If ctx is cancelled, runs not yet started are skipped and their slots
+// in the returned slice are nil; runs already in flight complete and are
+// cached.
+func (p *Pool) RunAll(ctx context.Context, cfgs []scenario.Config) []*scenario.Result {
+	type job struct {
+		key string
+		cfg scenario.Config
+		e   *entry
+	}
+
+	// Claim cache entries under one lock pass: the first batch to see a
+	// key owns its execution, later arrivals only wait on done.
+	entries := make([]*entry, len(cfgs))
+	var jobs []job
+	p.mu.Lock()
+	for i, cfg := range cfgs {
+		k := Key(cfg)
+		e, ok := p.cache[k]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			p.cache[k] = e
+			jobs = append(jobs, job{key: k, cfg: cfg, e: e})
+		}
+		entries[i] = e
+	}
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	submitted := 0
+	for _, j := range jobs {
+		select {
+		case <-ctx.Done():
+		case p.sem <- struct{}{}:
+			submitted++
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				j.e.res = p.runFn(j.cfg)
+				close(j.e.done)
+			}(j)
+			continue
+		}
+		break
+	}
+	// Cancelled with jobs unlaunched: unpublish them so a later call can
+	// still execute those configs, and unblock any waiters with a nil
+	// result.
+	if submitted < len(jobs) {
+		p.mu.Lock()
+		for _, j := range jobs[submitted:] {
+			delete(p.cache, j.key)
+			close(j.e.done)
+		}
+		p.mu.Unlock()
+	}
+	wg.Wait()
+
+	results := make([]*scenario.Result, len(cfgs))
+	for i, e := range entries {
+		// Entries owned by a concurrent batch may still be running; wait
+		// unless cancelled.
+		select {
+		case <-e.done:
+			results[i] = e.res
+		case <-ctx.Done():
+			select { // prefer the result if it raced the cancellation
+			case <-e.done:
+				results[i] = e.res
+			default:
+			}
+		}
+	}
+	return results
+}
+
+// ForEach runs fn(0..n-1) across the pool's workers and waits for all of
+// them. It is the generic parallel-for for driver stages that build their
+// own simulations or correlations instead of going through scenario.Run;
+// fn must confine its writes to index-disjoint state and must not submit
+// back into the same pool (fn holds a worker slot for its whole run, so a
+// nested RunAll could starve). If ctx is cancelled, remaining indices are
+// skipped.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case p.sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Flush drops every completed cache entry, releasing the retained
+// Results. In-flight entries are kept so concurrent waiters stay valid.
+// Long-lived processes sweeping many distinct configs call this between
+// sweeps to bound memory.
+func (p *Pool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, e := range p.cache {
+		select {
+		case <-e.done:
+			delete(p.cache, k)
+		default:
+		}
+	}
+}
+
+// CacheLen reports the number of memoized (or in-flight) configs.
+func (p *Pool) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}

@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/ran"
+	"athena/internal/scenario"
+	"athena/internal/units"
+)
+
+// digest renders the determinism-relevant content of a Result as bytes:
+// per-packet corrected timings, delay summaries, frame grouping, receiver
+// and probe outputs. Two runs of one config must produce identical bytes
+// regardless of scheduling.
+func digest(res *scenario.Result) string {
+	if res == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	rep := res.Report
+	fmt.Fprintf(&b, "packets=%d frames=%d\n", len(rep.Packets), len(rep.Frames))
+	fmt.Fprintf(&b, "video=%s\naudio=%s\n",
+		rep.DelaySummary(packet.KindVideo), rep.DelaySummary(packet.KindAudio))
+	for _, v := range rep.Packets {
+		fmt.Fprintf(&b, "%d/%d/%s sent=%d core=%d recv=%d ul=%d tbs=%v\n",
+			v.Flow, v.Seq, v.Kind, v.SentAt, v.CoreAt, v.ReceiverAt, v.ULDelay, v.TBIDs)
+	}
+	sender, core := rep.SpreadsMS()
+	fmt.Fprintf(&b, "spreads=%d/%d\n", len(sender), len(core))
+	fmt.Fprintf(&b, "rates=%v\n", res.Receiver.ReceiveRates())
+	fmt.Fprintf(&b, "probe=%v\n", res.Prober.OWDsMS())
+	fmt.Fprintf(&b, "scalars=%v %v\n", res.Receiver.FrameJitter, res.Receiver.Renderer.Stalls)
+	return b.String()
+}
+
+// testConfigs is a small matrix over seeds and access technologies, kept
+// short so the determinism test stays fast under -race.
+func testConfigs() []scenario.Config {
+	var cfgs []scenario.Config
+	for _, seed := range []int64{1, 7} {
+		for _, access := range []scenario.AccessKind{scenario.Access5G, scenario.AccessWired} {
+			cfg := scenario.Defaults()
+			cfg.Seed = seed
+			cfg.Duration = 2 * time.Second
+			cfg.Access = access
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	cfg := scenario.Defaults()
+	cfg.Seed = 3
+	cfg.Duration = 2 * time.Second
+	cfg.CrossUEs = 2
+	cfg.CrossPhases = []ran.CrossPhase{{Start: 0, Rate: 12 * units.Mbps}}
+	cfgs = append(cfgs, cfg)
+	return cfgs
+}
+
+// TestRunAllMatchesSerial asserts that parallel, memoized execution is
+// byte-identical to direct serial scenario.Run for a seed/config matrix.
+// Run under -race this also exercises the pool's synchronization.
+func TestRunAllMatchesSerial(t *testing.T) {
+	cfgs := testConfigs()
+
+	want := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = digest(scenario.Run(cfg))
+	}
+
+	p := New(4)
+	got := p.RunAll(context.Background(), cfgs)
+	if len(got) != len(cfgs) {
+		t.Fatalf("RunAll returned %d results for %d configs", len(got), len(cfgs))
+	}
+	for i := range cfgs {
+		if d := digest(got[i]); d != want[i] {
+			t.Errorf("config %d: parallel result diverges from serial\nserial: %.200s\nparallel: %.200s",
+				i, want[i], d)
+		}
+	}
+}
+
+func TestRunAllPreservesOrderAndMemoizes(t *testing.T) {
+	a := scenario.Defaults()
+	a.Seed = 1
+	a.Duration = time.Second
+	b := a
+	b.Seed = 2
+
+	p := New(4)
+	res := p.RunAll(context.Background(), []scenario.Config{a, b, a})
+	if res[0] == nil || res[1] == nil || res[2] == nil {
+		t.Fatal("nil result without cancellation")
+	}
+	if res[0] != res[2] {
+		t.Error("duplicate config within a batch should share one Result")
+	}
+	if res[0] == res[1] {
+		t.Error("distinct configs must not share a Result")
+	}
+	if res[0].Cfg.Seed != 1 || res[1].Cfg.Seed != 2 {
+		t.Errorf("order not preserved: seeds %d,%d", res[0].Cfg.Seed, res[1].Cfg.Seed)
+	}
+	if p.CacheLen() != 2 {
+		t.Errorf("CacheLen = %d, want 2", p.CacheLen())
+	}
+	// Cross-batch recall: no new execution, same pointer.
+	if again := p.Run(a); again != res[0] {
+		t.Error("cross-batch recall should return the memoized Result")
+	}
+}
+
+func TestRunCountsExecutions(t *testing.T) {
+	var runs atomic.Int64
+	p := New(4)
+	p.runFn = func(cfg scenario.Config) *scenario.Result {
+		runs.Add(1)
+		return &scenario.Result{Cfg: cfg}
+	}
+	cfgs := make([]scenario.Config, 16)
+	for i := range cfgs {
+		cfgs[i] = scenario.Defaults()
+		cfgs[i].Seed = int64(i % 4) // 4 distinct configs, 4 copies each
+	}
+	p.RunAll(context.Background(), cfgs)
+	if runs.Load() != 4 {
+		t.Fatalf("executed %d runs, want 4 (memoized duplicates)", runs.Load())
+	}
+	p.RunAll(context.Background(), cfgs)
+	if runs.Load() != 4 {
+		t.Fatalf("re-submission re-executed: %d runs", runs.Load())
+	}
+}
+
+func TestRunAllCancellation(t *testing.T) {
+	p := New(1)
+	block := make(chan struct{})
+	p.runFn = func(cfg scenario.Config) *scenario.Result {
+		<-block
+		return &scenario.Result{Cfg: cfg}
+	}
+	cfgs := make([]scenario.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = scenario.Defaults()
+		cfgs[i].Seed = int64(i + 1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []*scenario.Result, 1)
+	go func() { done <- p.RunAll(ctx, cfgs) }()
+	time.Sleep(20 * time.Millisecond) // let the single worker start job 0
+	cancel()
+	close(block)
+	res := <-done
+	// Unstarted jobs were skipped and unpublished: running them again
+	// (uncancelled) must work and fill every slot.
+	p.runFn = func(cfg scenario.Config) *scenario.Result { return &scenario.Result{Cfg: cfg} }
+	res2 := p.RunAll(context.Background(), cfgs)
+	for i, r := range res2 {
+		if r == nil || r.Cfg.Seed != cfgs[i].Seed {
+			t.Fatalf("slot %d not recoverable after cancellation: %+v", i, r)
+		}
+	}
+	_ = res
+}
+
+func TestForEach(t *testing.T) {
+	p := New(4)
+	out := make([]int, 100)
+	p.ForEach(context.Background(), len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+}
+
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	a := scenario.Defaults()
+	b := a
+	if Key(a) != Key(b) {
+		t.Fatal("identical configs must share a key")
+	}
+	b.Seed++
+	if Key(a) == Key(b) {
+		t.Fatal("seed must be part of the key")
+	}
+	c := a
+	c.Spikes = []scenario.Spike{{Start: time.Second, End: 2 * time.Second, Extra: time.Millisecond}}
+	if Key(a) == Key(c) {
+		t.Fatal("nested slices must be part of the key")
+	}
+	d := a
+	d.MaxRate = a.MaxRate + units.BitRate(1)
+	if Key(a) == Key(d) {
+		t.Fatal("rate fields must be part of the key")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	p := New(2)
+	p.runFn = func(cfg scenario.Config) *scenario.Result { return &scenario.Result{Cfg: cfg} }
+	cfg := scenario.Defaults()
+	first := p.Run(cfg)
+	p.Flush()
+	if p.CacheLen() != 0 {
+		t.Fatalf("CacheLen after Flush = %d", p.CacheLen())
+	}
+	if second := p.Run(cfg); second == first {
+		t.Fatal("Flush should force re-execution")
+	}
+}

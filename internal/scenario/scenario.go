@@ -513,7 +513,7 @@ func probeBaseline(p *probe.Prober) time.Duration {
 	if len(rtts) == 0 {
 		return 0
 	}
-	return time.Duration(stats.Quantile(rtts, 0.5) * float64(time.Millisecond))
+	return time.Duration(stats.QuantileInPlace(rtts, 0.5) * float64(time.Millisecond))
 }
 
 // injector adds configured delay spikes and jitter episodes to media

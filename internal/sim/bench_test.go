@@ -21,6 +21,43 @@ func BenchmarkEventSchedulingAndDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSimScheduleFire measures the steady-state hot path: one
+// schedule + one dispatch per op with a warm free list. The tracked
+// regression target is 0 allocs/op.
+func BenchmarkSimScheduleFire(b *testing.B) {
+	s := New(1)
+	n := 0
+	fn := func() { n++ }
+	s.After(time.Microsecond, fn)
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Run()
+	}
+	if n != b.N+1 {
+		b.Fatalf("dispatched %d of %d", n, b.N+1)
+	}
+}
+
+// BenchmarkSimScheduleFireDeep exercises the heap with 1024 outstanding
+// events per dispatch — the figure-scale working set.
+func BenchmarkSimScheduleFireDeep(b *testing.B) {
+	s := New(1)
+	n := 0
+	fn := func() { n++ }
+	for i := 0; i < 1024; i++ {
+		s.At(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+1024*time.Microsecond, fn)
+		s.RunUntil(s.Now() + time.Microsecond)
+	}
+}
+
 func BenchmarkTickerThroughput(b *testing.B) {
 	s := New(1)
 	n := 0

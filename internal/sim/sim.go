@@ -7,74 +7,71 @@
 // insertion order, so a simulation with a fixed seed is fully
 // reproducible — a property the test suite and the Athena correlator's
 // ground-truth checks depend on.
+//
+// The queue is a concrete 4-ary min-heap of recycled event records: no
+// interface boxing, and steady-state schedule/fire cycles allocate
+// nothing because fired and cancelled events return to a free list.
+// Cancelled timers are compacted out of the heap once they outnumber the
+// live events, so a workload that schedules and cancels aggressively
+// (jitter buffers, tickers racing simulation end) cannot grow the queue
+// with corpses.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Records are pooled: gen increments each
+// time the record is recycled so stale Timer handles cannot act on the
+// record's next life.
 type event struct {
 	at   time.Duration
 	seq  uint64 // insertion order, breaks ties deterministically
 	fn   func()
+	gen  uint32
 	dead bool
-	idx  int
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders events by (time, insertion order).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// Timer is valid: Stop on it reports false.
 type Timer struct {
-	e *event
+	sim *Simulator
+	e   *event
+	gen uint32
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
 // cancellation prevented a pending execution.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.dead {
+func (t Timer) Stop() bool {
+	e := t.e
+	if e == nil || e.gen != t.gen || e.dead {
 		return false
 	}
-	t.e.dead = true
+	e.dead = true
+	t.sim.live--
+	t.sim.maybeCompact()
 	return true
 }
 
 // Simulator is a discrete-event scheduler with a virtual clock.
 // The zero value is not usable; create one with New.
 type Simulator struct {
-	now   time.Duration
-	queue eventQueue
-	seq   uint64
-	rng   *rand.Rand
+	now  time.Duration
+	heap []*event // 4-ary min-heap ordered by eventLess
+	live int      // heap entries not marked dead
+	free []*event // recycled event records
+	seq  uint64
+	rng  *rand.Rand
 	// Horizon, when nonzero, stops Run once the clock passes it.
 	horizon time.Duration
 	stopped bool
@@ -99,21 +96,141 @@ func (s *Simulator) NewStream() *rand.Rand {
 	return rand.New(rand.NewSource(s.rng.Int63()))
 }
 
+// alloc takes an event record from the free list (or the heap allocator
+// when the list is empty) and initializes it.
+func (s *Simulator) alloc(at time.Duration, fn func()) *event {
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at = at
+	e.seq = s.seq
+	e.fn = fn
+	e.dead = false
+	s.seq++
+	return e
+}
+
+// release recycles a record that has left the heap. The generation bump
+// invalidates any outstanding Timer handles to it.
+func (s *Simulator) release(e *event) {
+	e.fn = nil
+	e.gen++
+	e.dead = false
+	s.free = append(s.free, e)
+}
+
+// push inserts e into the heap.
+func (s *Simulator) push(e *event) {
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// pop removes and returns the earliest event.
+func (s *Simulator) pop() *event {
+	h := s.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return root
+}
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !eventLess(h[best], e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
+}
+
+// maybeCompact rebuilds the heap without its dead entries once they
+// exceed half the queue, bounding both memory and the pop-side work of
+// skipping corpses.
+func (s *Simulator) maybeCompact() {
+	n := len(s.heap)
+	if n < 32 || (n-s.live)*2 <= n {
+		return
+	}
+	h := s.heap
+	j := 0
+	for _, e := range h {
+		if e.dead {
+			s.release(e)
+		} else {
+			h[j] = e
+			j++
+		}
+	}
+	for i := j; i < n; i++ {
+		h[i] = nil
+	}
+	s.heap = h[:j]
+	if j == 0 {
+		return
+	}
+	for i := (j - 2) / 4; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it indicates a causality bug in the caller.
-func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+func (s *Simulator) At(t time.Duration, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	e := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return &Timer{e: e}
+	e := s.alloc(t, fn)
+	s.push(e)
+	s.live++
+	return Timer{sim: s, e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current time. Negative delays are
 // clamped to zero.
-func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+func (s *Simulator) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -127,7 +244,8 @@ func (s *Simulator) Every(start, period time.Duration, fn func()) *Ticker {
 		panic("sim: Every requires positive period")
 	}
 	tk := &Ticker{sim: s, period: period, fn: fn}
-	tk.timer = s.At(start, tk.fire)
+	tk.fireFn = tk.fire // bound once so rescheduling does not allocate
+	tk.timer = s.At(start, tk.fireFn)
 	return tk
 }
 
@@ -136,7 +254,8 @@ type Ticker struct {
 	sim     *Simulator
 	period  time.Duration
 	fn      func()
-	timer   *Timer
+	fireFn  func()
+	timer   Timer
 	stopped bool
 }
 
@@ -148,15 +267,13 @@ func (tk *Ticker) fire() {
 	if tk.stopped { // fn may stop the ticker
 		return
 	}
-	tk.timer = tk.sim.After(tk.period, tk.fire)
+	tk.timer = tk.sim.After(tk.period, tk.fireFn)
 }
 
 // Stop cancels future ticks.
 func (tk *Ticker) Stop() {
 	tk.stopped = true
-	if tk.timer != nil {
-		tk.timer.Stop()
-	}
+	tk.timer.Stop()
 }
 
 // Stop halts Run after the current event returns.
@@ -167,17 +284,22 @@ func (s *Simulator) Stop() { s.stopped = true }
 // and is advanced to horizon on return.
 func (s *Simulator) RunUntil(horizon time.Duration) {
 	s.horizon = horizon
-	for s.queue.Len() > 0 && !s.stopped {
-		e := s.queue[0]
+	for len(s.heap) > 0 && !s.stopped {
+		e := s.heap[0]
+		if e.dead {
+			s.pop()
+			s.release(e)
+			continue
+		}
 		if e.at > horizon {
 			break
 		}
-		heap.Pop(&s.queue)
-		if e.dead {
-			continue
-		}
+		s.pop()
+		s.live--
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.release(e)
+		fn()
 	}
 	if s.now < horizon {
 		s.now = horizon
@@ -186,24 +308,19 @@ func (s *Simulator) RunUntil(horizon time.Duration) {
 
 // Run executes all events until the queue drains or Stop is called.
 func (s *Simulator) Run() {
-	for s.queue.Len() > 0 && !s.stopped {
-		e := heap.Pop(&s.queue).(*event)
+	for len(s.heap) > 0 && !s.stopped {
+		e := s.pop()
 		if e.dead {
+			s.release(e)
 			continue
 		}
+		s.live--
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.release(e)
+		fn()
 	}
 }
 
-// Pending reports the number of live scheduled events (cancelled timers
-// may still be counted until they surface).
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live scheduled events.
+func (s *Simulator) Pending() int { return s.live }

@@ -89,10 +89,76 @@ func TestTimerStop(t *testing.T) {
 	}
 }
 
-func TestTimerStopNil(t *testing.T) {
-	var tm *Timer
+func TestTimerStopZero(t *testing.T) {
+	var tm Timer
 	if tm.Stop() {
-		t.Fatal("nil timer Stop should be false")
+		t.Fatal("zero timer Stop should be false")
+	}
+}
+
+func TestTimerStopAfterFireIsFalse(t *testing.T) {
+	s := New(1)
+	tm := s.At(time.Millisecond, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+// A Timer held across its event record's recycling must not cancel the
+// record's next life.
+func TestStaleTimerDoesNotCancelRecycledEvent(t *testing.T) {
+	s := New(1)
+	stale := s.At(time.Millisecond, func() {})
+	s.Run() // fires; record returns to the free list
+	fired := false
+	s.At(2*time.Millisecond, func() { fired = true }) // reuses the record
+	if stale.Stop() {
+		t.Fatal("stale Stop should be a no-op")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event was cancelled through a stale handle")
+	}
+}
+
+func TestDeadEventCompaction(t *testing.T) {
+	s := New(1)
+	timers := make([]Timer, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		timers = append(timers, s.At(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	for _, tm := range timers[:900] {
+		tm.Stop()
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", s.Pending())
+	}
+	// Compaction must have dropped the corpses from the heap itself.
+	if len(s.heap) > 200 {
+		t.Fatalf("heap holds %d entries for 100 live events; compaction missing", len(s.heap))
+	}
+	n := 0
+	s.At(1, func() { n++ }) // schedule on the compacted heap still works
+	s.Run()
+	if n != 1 || s.Pending() != 0 {
+		t.Fatalf("post-compaction run: n=%d pending=%d", n, s.Pending())
+	}
+}
+
+// Steady-state scheduling and firing must not allocate: event records are
+// recycled through the free list and Timer handles are values.
+func TestScheduleFireNoAllocs(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	s.After(time.Microsecond, fn)
+	s.Run() // warm the free list and heap capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f/op, want 0", allocs)
 	}
 }
 

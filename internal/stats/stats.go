@@ -24,14 +24,34 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of xs. It returns a zero Summary for an
-// empty input.
+// empty input. The input is copied; use SummarizeInPlace when the caller
+// owns xs and can spare the copy.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
-	sort.Float64s(s)
+	return SummarizeInPlace(s)
+}
+
+// SummarizeInPlace computes a Summary of xs, sorting xs in place instead
+// of copying it — the zero-copy path for callers that own their sample
+// slice (extractors like ULDelaysMS return fresh slices).
+func SummarizeInPlace(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
+	return summarizeSorted(xs)
+}
+
+// summarizeSorted computes every order statistic from one sorted pass —
+// the shared single-sort path under Summarize and CDF.Summary.
+func summarizeSorted(s []float64) Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
 	var sum, sumsq float64
 	for _, x := range s {
 		sum += x
@@ -67,6 +87,9 @@ func (s Summary) String() string {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. It returns NaN for empty input.
+// The input is copied and sorted on every call: callers needing several
+// quantiles of one sample set should build a CDF (or use QuantileInPlace
+// for a single quantile of an owned slice) so the sort happens once.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -75,6 +98,16 @@ func Quantile(xs []float64, q float64) float64 {
 	copy(s, xs)
 	sort.Float64s(s)
 	return quantileSorted(s, q)
+}
+
+// QuantileInPlace is Quantile without the defensive copy: it sorts xs in
+// place. For callers that own their sample slice.
+func QuantileInPlace(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(xs)
+	return quantileSorted(xs, q)
 }
 
 func quantileSorted(s []float64, q float64) float64 {
@@ -122,8 +155,25 @@ func NewCDF(xs []float64) *CDF {
 	return &CDF{sorted: s}
 }
 
+// NewCDFInPlace builds an empirical CDF that takes ownership of xs,
+// sorting it in place without copying. The caller must not use xs
+// afterwards. This is the single-sort path figure drivers use to extract
+// curve points, quantiles and summaries from one sample set.
+func NewCDFInPlace(xs []float64) *CDF {
+	sort.Float64s(xs)
+	return &CDF{sorted: xs}
+}
+
 // Len reports the number of underlying samples.
 func (c *CDF) Len() int { return len(c.sorted) }
+
+// Values exposes the sorted backing samples. The slice is shared with the
+// CDF: treat it as read-only.
+func (c *CDF) Values() []float64 { return c.sorted }
+
+// Summary computes the full order-statistics summary from the
+// already-sorted samples — no additional sort or copy.
+func (c *CDF) Summary() Summary { return summarizeSorted(c.sorted) }
 
 // At reports P(X <= x): the fraction of samples <= x.
 func (c *CDF) At(x float64) float64 {

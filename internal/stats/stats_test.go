@@ -290,3 +290,47 @@ func TestASCIICDF(t *testing.T) {
 		t.Fatal("empty render")
 	}
 }
+
+func TestSummarizeInPlaceMatchesSummarize(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	want := Summarize(xs) // copies; xs untouched
+	got := SummarizeInPlace(append([]float64(nil), xs...))
+	if got != want {
+		t.Fatalf("SummarizeInPlace = %+v, want %+v", got, want)
+	}
+	if Summarize(nil) != (Summary{}) || SummarizeInPlace(nil) != (Summary{}) {
+		t.Fatal("empty input should give zero Summary")
+	}
+}
+
+func TestCDFSummaryMatchesSummarize(t *testing.T) {
+	xs := []float64{4, 2, 9, 1, 1, 6}
+	if got, want := NewCDF(xs).Summary(), Summarize(xs); got != want {
+		t.Fatalf("CDF.Summary = %+v, want %+v", got, want)
+	}
+	if NewCDF(nil).Summary() != (Summary{}) {
+		t.Fatal("empty CDF should give zero Summary")
+	}
+}
+
+func TestNewCDFInPlace(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDFInPlace(xs)
+	if c.Quantile(0) != 1 || c.Quantile(1) != 3 {
+		t.Fatalf("quantiles: %v %v", c.Quantile(0), c.Quantile(1))
+	}
+	// Takes ownership: backing slice is xs itself, sorted.
+	if &c.Values()[0] != &xs[0] || xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("expected in-place sort of the caller slice: %v", xs)
+	}
+}
+
+func TestQuantileInPlace(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if got := QuantileInPlace(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(QuantileInPlace(nil, 0.5)) {
+		t.Fatal("empty input should be NaN")
+	}
+}

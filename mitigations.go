@@ -29,8 +29,8 @@ func M1(o Options) *FigureData {
 		{"predictive (learned)", ran.SchedPredictive, false},
 		{"oracle", ran.SchedOracle, false},
 	}
-	var defaultMean float64
-	for _, s := range schedulers {
+	cfgs := make([]Config, len(schedulers))
+	for i, s := range schedulers {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(45 * time.Second)
@@ -38,10 +38,16 @@ func M1(o Options) *FigureData {
 		cfg.RAN.FadeMeanBad = 0 // isolate scheduling from channel loss
 		cfg.Sched = s.sched
 		cfg.AttachMeta = s.meta
-		res := Run(cfg)
-		delays := res.Report.FrameDelaysMS()
-		sum := stats.Summarize(delays)
-		fig.add("frame delay CDF (x=ms): "+s.name, cdfPoints(delays, 30))
+		cfgs[i] = cfg
+	}
+	results := RunAll(cfgs)
+	var defaultMean float64
+	for i, s := range schedulers {
+		// FrameDelaysMS builds a fresh slice, so the CDF can sort it in
+		// place: one sort serves the curve and both order statistics.
+		delays := stats.NewCDFInPlace(results[i].Report.FrameDelaysMS())
+		sum := delays.Summary()
+		fig.add("frame delay CDF (x=ms): "+s.name, delays.Points(30))
 		fig.Scalars["mean_ms:"+s.name] = sum.Mean
 		fig.Scalars["p95_ms:"+s.name] = sum.P95
 		if s.name == "proactive+bsr (default)" {
@@ -62,25 +68,36 @@ func M1(o Options) *FigureData {
 // p95 uplink delay (the mitigation must not hide real congestion).
 func M2(o Options) *FigureData {
 	fig := newFigure("M2", "PHY-informed GCC removes phantom overuse (§5.3)")
-	run := func(kind string, ctl scenario.ControllerKind, loaded bool) {
+	cells := []struct {
+		kind   string
+		ctl    scenario.ControllerKind
+		loaded bool
+	}{
+		{"gcc", GCC, false},
+		{"gcc-phy", PHYAware, false},
+		{"gcc", GCC, true},
+		{"gcc-phy", PHYAware, true},
+	}
+	cfgs := make([]Config, len(cells))
+	names := make([]string, len(cells))
+	for i, c := range cells {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(60 * time.Second)
-		cfg.Controller = ctl
-		if loaded {
+		cfg.Controller = c.ctl
+		names[i] = c.kind
+		if c.loaded {
 			cfg.CrossUEs = 6
 			cfg.CrossPhases = []ran.CrossPhase{{Start: 0, Rate: 16 * units.Mbps}}
-			kind += "+load"
+			names[i] += "+load"
 		}
-		res := Run(cfg)
-		fig.Scalars["overuse:"+kind] = float64(res.GCC.OveruseCount)
-		fig.Scalars["rate_kbps:"+kind] = res.GCC.TargetRate().Kbits()
-		fig.Scalars["ul_p95_ms:"+kind] = res.Report.DelaySummary(packet.KindVideo).P95
+		cfgs[i] = cfg
 	}
-	run("gcc", GCC, false)
-	run("gcc-phy", PHYAware, false)
-	run("gcc", GCC, true)
-	run("gcc-phy", PHYAware, true)
+	for i, res := range RunAll(cfgs) {
+		fig.Scalars["overuse:"+names[i]] = float64(res.GCC.OveruseCount)
+		fig.Scalars["rate_kbps:"+names[i]] = res.GCC.TargetRate().Kbits()
+		fig.Scalars["ul_p95_ms:"+names[i]] = res.Report.DelaySummary(packet.KindVideo).P95
+	}
 	fig.note("telemetry-corrected GCC sees fewer phantom overuses idle and sustains rate, while real load still backs it off")
 	return fig
 }
@@ -90,18 +107,23 @@ func M2(o Options) *FigureData {
 // feedback; the sender runs unmodified GCC.
 func M3(o Options) *FigureData {
 	fig := newFigure("M3", "RAN-side delay masking in CC feedback (§5.3)")
-	for _, c := range []struct {
+	controllers := []struct {
 		name string
 		kind scenario.ControllerKind
-	}{{"gcc", GCC}, {"gcc-masked", MaskedGCC}} {
+	}{{"gcc", GCC}, {"gcc-masked", MaskedGCC}}
+	cfgs := make([]Config, len(controllers))
+	for i, c := range controllers {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(60 * time.Second)
 		cfg.Controller = c.kind
-		res := Run(cfg)
-		fig.Scalars["overuse:"+c.name] = float64(res.GCC.OveruseCount)
-		fig.Scalars["rate_kbps:"+c.name] = res.GCC.TargetRate().Kbits()
-		fig.Scalars["recv_p50_kbps:"+c.name] = stats.Quantile(res.Receiver.ReceiveRates(), 0.5)
+		cfgs[i] = cfg
+	}
+	for i, res := range RunAll(cfgs) {
+		name := controllers[i].name
+		fig.Scalars["overuse:"+name] = float64(res.GCC.OveruseCount)
+		fig.Scalars["rate_kbps:"+name] = res.GCC.TargetRate().Kbits()
+		fig.Scalars["recv_p50_kbps:"+name] = stats.QuantileInPlace(res.Receiver.ReceiveRates(), 0.5)
 	}
 	fig.note("masking inside the network achieves the sender-side mitigation's effect without touching endpoints")
 	return fig
@@ -123,12 +145,15 @@ func M4(o Options) *FigureData {
 		{"moderate", 250 * time.Millisecond, 0.3},
 		{"heavy", 600 * time.Millisecond, 0.4},
 	}
+	controllers := []struct {
+		name string
+		kind scenario.ControllerKind
+		ecn  bool
+	}{{"gcc", GCC, false}, {"l4s", L4S, true}}
+	var cfgs []Config
+	var keys []string
 	for _, f := range fades {
-		for _, c := range []struct {
-			name string
-			kind scenario.ControllerKind
-			ecn  bool
-		}{{"gcc", GCC, false}, {"l4s", L4S, true}} {
+		for _, c := range controllers {
 			cfg := DefaultConfig()
 			cfg.Seed = o.seed()
 			cfg.Duration = o.scale(60 * time.Second)
@@ -136,12 +161,14 @@ func M4(o Options) *FigureData {
 			cfg.ECN = c.ecn
 			cfg.RAN.FadeMeanBad = f.bad
 			cfg.RAN.FadeBLER = f.bler
-			res := Run(cfg)
-			key := fmt.Sprintf("%s@fade=%s", c.name, f.name)
-			fig.Scalars["rate_kbps:"+key] = stats.Quantile(res.Receiver.ReceiveRates(), 0.5)
-			fig.Scalars["ul_p95_ms:"+key] = res.Report.DelaySummary(packet.KindVideo).P95
-			fig.Scalars["stalls:"+key] = float64(res.Receiver.Renderer.Stalls)
+			cfgs = append(cfgs, cfg)
+			keys = append(keys, fmt.Sprintf("%s@fade=%s", c.name, f.name))
 		}
+	}
+	for i, res := range RunAll(cfgs) {
+		fig.Scalars["rate_kbps:"+keys[i]] = stats.QuantileInPlace(res.Receiver.ReceiveRates(), 0.5)
+		fig.Scalars["ul_p95_ms:"+keys[i]] = res.Report.DelaySummary(packet.KindVideo).P95
+		fig.Scalars["stalls:"+keys[i]] = float64(res.Receiver.Renderer.Stalls)
 	}
 	fig.note("under fades, GCC's delay signal conflates retransmission spikes with congestion and sheds rate; L4S brakes only while a queue actually stands — but retains the §5.3 open question of when that is safe")
 	return fig

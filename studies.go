@@ -1,6 +1,7 @@
 package athena
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"athena/internal/netem"
 	"athena/internal/packet"
 	"athena/internal/ran"
+	"athena/internal/runner"
 	"athena/internal/scenario"
 	"athena/internal/sim"
 	"athena/internal/stats"
@@ -58,25 +60,27 @@ func S1PHYContexts(o Options) *FigureData {
 			*c = lte
 		}},
 	}
-	for _, ctx := range contexts {
+	cfgs := make([]Config, len(contexts))
+	for i, ctx := range contexts {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(60 * time.Second)
 		cfg.CaptureGCC = true
 		ctx.mut(&cfg.RAN)
-		res := Run(cfg)
-
-		key := ctx.name
+		cfgs[i] = cfg
+	}
+	for i, res := range RunAll(cfgs) {
+		key := contexts[i].name
 		sum := res.Report.DelaySummary(packet.KindVideo)
 		_, coreSp := res.Report.SpreadsMS()
 		fig.Scalars["ul_p50_ms:"+key] = sum.P50
 		fig.Scalars["ul_p95_ms:"+key] = sum.P95
-		fig.Scalars["spread_p90_ms:"+key] = stats.Quantile(coreSp, 0.9)
+		fig.Scalars["spread_p90_ms:"+key] = stats.QuantileInPlace(coreSp, 0.9)
 		fig.Scalars["overuse:"+key] = float64(res.GCC.OveruseCount)
 		fig.Scalars["rate_kbps:"+key] = res.GCC.TargetRate().Kbits()
-		fig.Scalars["quantum_ms:"+key] = float64(cfg.RAN.ULPeriod()) / float64(time.Millisecond)
+		fig.Scalars["quantum_ms:"+key] = float64(cfgs[i].RAN.ULPeriod()) / float64(time.Millisecond)
 		fig.add(fmt.Sprintf("video UL delay CDF (x=ms): %s", key),
-			cdfPoints(res.Report.ULDelaysMS(packet.KindVideo), 30))
+			stats.NewCDFInPlace(res.Report.ULDelaysMS(packet.KindVideo)).Points(30))
 	}
 	fig.note("finer uplink cadence (short slices, FDD) shrinks the delay-spread quantum and the median uplink delay")
 	fig.note("but under channel fading, finer cadence also multiplies the gradient samples per trendline window and thins per-slot capacity, so GCC's phantom overuse does not automatically improve — the duplexing choice interacts with channel dynamics, which is precisely the §5.1 design space Athena exists to explore")
@@ -89,24 +93,29 @@ func S1PHYContexts(o Options) *FigureData {
 // path with handover-driven delay steps — plus the wired reference.
 func S2AccessNetworks(o Options) *FigureData {
 	fig := newFigure("S2", "One VCA, many access networks: artifact structure differs (§5.1)")
-	for _, acc := range []AccessKind{Access5G, AccessWiFi, AccessLEO, AccessWired} {
+	accesses := []AccessKind{Access5G, AccessWiFi, AccessLEO, AccessWired}
+	cfgs := make([]Config, len(accesses))
+	for i, acc := range accesses {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(60 * time.Second)
 		cfg.Access = acc
 		cfg.CaptureGCC = true
-		res := Run(cfg)
-
-		key := string(acc)
+		cfgs[i] = cfg
+	}
+	for i, res := range RunAll(cfgs) {
+		key := string(accesses[i])
 		sum := res.Report.DelaySummary(packet.KindVideo)
 		fig.Scalars["ul_p50_ms:"+key] = sum.P50
 		fig.Scalars["ul_p99_ms:"+key] = sum.P99
 		fig.Scalars["overuse:"+key] = float64(res.GCC.OveruseCount)
 		fig.Scalars["rate_kbps:"+key] = res.GCC.TargetRate().Kbits()
+		// FrameJitter belongs to the shared memoized Result: quantile on a
+		// copy. FrameRates returns a fresh slice: quantile in place.
 		fig.Scalars["frame_jitter_p50_ms:"+key] = stats.Quantile(res.Receiver.FrameJitter, 0.5)
-		fig.Scalars["fps_p50:"+key] = stats.Quantile(res.Receiver.Renderer.FrameRates(), 0.5)
+		fig.Scalars["fps_p50:"+key] = stats.QuantileInPlace(res.Receiver.Renderer.FrameRates(), 0.5)
 		fig.add("video UL delay CDF (x=ms): "+key,
-			cdfPoints(res.Report.ULDelaysMS(packet.KindVideo), 30))
+			stats.NewCDFInPlace(res.Report.ULDelaysMS(packet.KindVideo)).Points(30))
 	}
 	fig.note("each access technology injects a different artifact: 5G quantizes and over-grants, Wi-Fi adds contention variance, LEO adds handover delay steps; only the wired path is artifact-free")
 	return fig
@@ -122,16 +131,19 @@ func S2AccessNetworks(o Options) *FigureData {
 // learner's confusion metric.
 func S3LearningCC(o Options) *FigureData {
 	fig := newFigure("S3", "Learning-based CC still sees a clouded view on 5G (§1)")
-	for _, acc := range []AccessKind{AccessWired, Access5G} {
+	accesses := []AccessKind{AccessWired, Access5G}
+	cfgs := make([]Config, len(accesses))
+	for i, acc := range accesses {
 		cfg := DefaultConfig()
 		cfg.Seed = o.seed()
 		cfg.Duration = o.scale(90 * time.Second)
 		cfg.Access = acc
 		cfg.Controller = scenario.CtlPCC
-		res := Run(cfg)
-
-		key := string(acc)
-		fig.Scalars["rate_kbps:"+key] = stats.Quantile(res.Receiver.ReceiveRates(), 0.5)
+		cfgs[i] = cfg
+	}
+	for i, res := range RunAll(cfgs) {
+		key := string(accesses[i])
+		fig.Scalars["rate_kbps:"+key] = stats.QuantileInPlace(res.Receiver.ReceiveRates(), 0.5)
 		fig.Scalars["ul_p95_ms:"+key] = res.Report.DelaySummary(packet.KindVideo).P95
 		fig.Scalars["decisions:"+key] = float64(res.PCC.Decisions)
 		fig.Scalars["down_decisions:"+key] = float64(res.PCC.DownDecisions)
@@ -187,35 +199,51 @@ func S4AppDiversity(o Options) *FigureData {
 		{"wired", 0, true},
 	}
 	dur := o.scale(30 * time.Second)
+	type cell struct {
+		class apps.Class
+		path  path
+	}
+	var cells []cell
 	for _, cl := range classes {
 		for _, p := range paths {
-			s := sim.New(o.seed())
-			var alloc packet.Alloc
-			var g *apps.Generator
-			tap := packet.HandlerFunc(func(pk *packet.Packet) { g.OnArrival(pk, s.Now()) })
-			var ingress packet.Handler
-			if p.wired {
-				ingress = netem.NewLink(s, "wired", 15*time.Millisecond, 20*units.Mbps, tap)
-			} else {
-				cell := ran.New(s, ran.Defaults(), tap)
-				ingress = cell.AttachUE(1, p.sched)
-			}
-			g = apps.New(s, &alloc, cl, 1, ingress)
-			g.Start(dur)
-			s.RunUntil(dur + 2*time.Second)
-			m := g.Metrics(dur)
-			key := fmt.Sprintf("%s@%s", cl, p.name)
-			fig.Scalars["p50_ms:"+key] = m.DelayP50MS
-			fig.Scalars["p99_ms:"+key] = m.DelayP99MS
-			switch cl {
-			case apps.ClassGaming:
-				fig.Scalars["late_inputs:"+key] = m.LateInputs
-			case apps.ClassWeb, apps.ClassVoD:
-				fig.Scalars["burst_p95_ms:"+key] = m.BurstP95MS
-				fig.Scalars["burst_spread_p95_ms:"+key] = m.BurstSpreadP95
-			case apps.ClassUpload:
-				fig.Scalars["mbps:"+key] = m.ThroughputMbps
-			}
+			cells = append(cells, cell{cl, p})
+		}
+	}
+	// Each cell owns its simulator, allocator and generator, so the grid
+	// fans out across the shared pool; metrics land in index-disjoint slots
+	// and the scalars are emitted serially in grid order below.
+	metrics := make([]apps.Metrics, len(cells))
+	runner.Default.ForEach(context.Background(), len(cells), func(i int) {
+		cl, p := cells[i].class, cells[i].path
+		s := sim.New(o.seed())
+		var alloc packet.Alloc
+		var g *apps.Generator
+		tap := packet.HandlerFunc(func(pk *packet.Packet) { g.OnArrival(pk, s.Now()) })
+		var ingress packet.Handler
+		if p.wired {
+			ingress = netem.NewLink(s, "wired", 15*time.Millisecond, 20*units.Mbps, tap)
+		} else {
+			cell := ran.New(s, ran.Defaults(), tap)
+			ingress = cell.AttachUE(1, p.sched)
+		}
+		g = apps.New(s, &alloc, cl, 1, ingress)
+		g.Start(dur)
+		s.RunUntil(dur + 2*time.Second)
+		metrics[i] = g.Metrics(dur)
+	})
+	for i, c := range cells {
+		m := metrics[i]
+		key := fmt.Sprintf("%s@%s", c.class, c.path.name)
+		fig.Scalars["p50_ms:"+key] = m.DelayP50MS
+		fig.Scalars["p99_ms:"+key] = m.DelayP99MS
+		switch c.class {
+		case apps.ClassGaming:
+			fig.Scalars["late_inputs:"+key] = m.LateInputs
+		case apps.ClassWeb, apps.ClassVoD:
+			fig.Scalars["burst_p95_ms:"+key] = m.BurstP95MS
+			fig.Scalars["burst_spread_p95_ms:"+key] = m.BurstSpreadP95
+		case apps.ClassUpload:
+			fig.Scalars["mbps:"+key] = m.ThroughputMbps
 		}
 	}
 	fig.note("gaming input pays the grant machinery (proactive rescues it, BSR-only ruins it); web/VoD bursts pay the 2.5 ms spread; bulk upload barely notices — per-class sensitivity is the §5.1 matching problem")
