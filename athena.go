@@ -82,3 +82,33 @@ func RunAll(cfgs []Config) []*Result {
 // RunFresh executes a scenario directly, bypassing the runner's cache —
 // for callers that need exclusive ownership of the Result.
 func RunFresh(cfg Config) *Result { return scenario.Run(cfg) }
+
+// Topology describes a multi-UE cell: N VCA participants, each with its
+// own endpoint pipeline, clocks, captures and flow IDs, sharing one RAN
+// whose schedulers arbitrate their real competing uplink buffers.
+type Topology = scenario.Topology
+
+// UESpec configures one participant of a Topology.
+type UESpec = scenario.UESpec
+
+// TopologyResult bundles a topology run's shared infrastructure and the
+// per-UE results.
+type TopologyResult = scenario.TopologyResult
+
+// UEResult is one UE's slice of a topology run, including its
+// flow-filtered correlation Report.
+type UEResult = scenario.UEResult
+
+// FlowIDs names one UE's uplink/downlink media and NTP flows.
+type FlowIDs = scenario.FlowIDs
+
+// NewTopology returns a topology of n default VCA UEs sharing one
+// DefaultConfig cell, each with a distinct media seed.
+func NewTopology(n int) Topology { return scenario.NewTopology(n) }
+
+// DefaultUE returns the default participant spec.
+func DefaultUE() UESpec { return scenario.DefaultUE() }
+
+// RunTopology executes a multi-UE topology and correlates each UE's
+// traces. Topology runs are not memoized; every call simulates.
+func RunTopology(top Topology) *TopologyResult { return scenario.RunTopology(top) }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"athena"
@@ -35,7 +37,13 @@ func main() {
 	out := flag.String("out", "athena", "output file prefix")
 	cross := flag.Bool("cross", false, "enable the paper's cross-traffic phase schedule (time-compressed)")
 	sched := flag.String("sched", "combined", "uplink scheduler: combined|bsr|proactive|appaware|oracle")
+	flows := flag.String("flows", "", "comma-separated flow IDs; restrict dumped capture records to these flows")
 	flag.Parse()
+
+	keepFlow, err := parseFlows(*flows)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := athena.DefaultConfig()
 	cfg.Duration = *duration
@@ -84,16 +92,49 @@ func main() {
 		if *seeds > 1 {
 			prefix = fmt.Sprintf("%s.s%d", *out, cfgs[i].Seed)
 		}
-		dump(prefix, res)
+		dump(prefix, res, keepFlow)
 	}
 }
 
-func dump(out string, res *athena.Result) {
+// parseFlows parses the -flows value into a keep-set; nil means keep
+// everything.
+func parseFlows(s string) (map[uint32]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	keep := make(map[uint32]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad -flows entry %q: %v", part, err)
+		}
+		keep[uint32(f)] = true
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("-flows %q names no flows", s)
+	}
+	return keep, nil
+}
+
+func dump(out string, res *athena.Result, keepFlow map[uint32]bool) {
 	var records []packet.Record
 	records = append(records, res.CapSender.Records...)
 	records = append(records, res.CapCore.Records...)
 	records = append(records, res.CapSFU.Records...)
 	records = append(records, res.CapReceiver.Records...)
+	if keepFlow != nil {
+		kept := records[:0]
+		for _, r := range records {
+			if keepFlow[r.Flow] {
+				kept = append(kept, r)
+			}
+		}
+		records = kept
+	}
 
 	var tbs = res.RAN.Telemetry.SnifferView()
 

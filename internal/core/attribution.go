@@ -36,28 +36,53 @@ type Attribution struct {
 // Attribute computes the aggregate breakdown.
 func (r *Report) Attribute() Attribution {
 	a := Attribution{TotalMS: make(map[Cause]float64)}
-	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, v := range r.Packets {
+		a.accumulate(v)
+	}
+	return a
+}
+
+// AttributeByFlow computes the breakdown separately per flow — the view
+// a multi-UE topology needs to tell one participant's uplink pain from
+// another's. Flows without any attributable packet are absent.
+func (r *Report) AttributeByFlow() map[uint32]Attribution {
+	out := make(map[uint32]Attribution)
 	for _, v := range r.Packets {
 		if !v.SeenCore || len(v.TBIDs) == 0 {
 			continue
 		}
-		a.Packets++
-		nonBSR := v.QueueWait - v.BSRWait
-		a.TotalMS[CauseQueueSlot] += msOf(nonBSR)
-		a.TotalMS[CauseBSR] += msOf(v.BSRWait)
-		a.TotalMS[CauseHARQ] += msOf(v.HARQDelay)
-		if v.HARQDelay > 0 {
-			a.RetxAffected++
+		a, ok := out[v.Flow]
+		if !ok {
+			a = Attribution{TotalMS: make(map[Cause]float64)}
 		}
-		if v.BSRWait > 0 {
-			a.BSRServed++
-		}
-		if v.SeenRecv {
-			a.TotalMS[CauseWAN] += msOf(v.WANDelay - v.SFUDelay)
-			a.TotalMS[CauseSFU] += msOf(v.SFUDelay)
-		}
+		a.accumulate(v)
+		out[v.Flow] = a
 	}
-	return a
+	return out
+}
+
+// accumulate folds one packet's delay components into the breakdown;
+// packets without uplink attribution are skipped.
+func (a *Attribution) accumulate(v PacketView) {
+	if !v.SeenCore || len(v.TBIDs) == 0 {
+		return
+	}
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	a.Packets++
+	nonBSR := v.QueueWait - v.BSRWait
+	a.TotalMS[CauseQueueSlot] += msOf(nonBSR)
+	a.TotalMS[CauseBSR] += msOf(v.BSRWait)
+	a.TotalMS[CauseHARQ] += msOf(v.HARQDelay)
+	if v.HARQDelay > 0 {
+		a.RetxAffected++
+	}
+	if v.BSRWait > 0 {
+		a.BSRServed++
+	}
+	if v.SeenRecv {
+		a.TotalMS[CauseWAN] += msOf(v.WANDelay - v.SFUDelay)
+		a.TotalMS[CauseSFU] += msOf(v.SFUDelay)
+	}
 }
 
 // MeanMS reports the average per-packet contribution of a cause.

@@ -30,6 +30,14 @@ type Input struct {
 	// (all HARQ attempts).
 	TBs []telemetry.TBRecord
 
+	// Flows, when non-empty, restricts correlation to the listed flow
+	// IDs: records of other flows are ignored at every capture point.
+	// Multi-UE topologies use it to carve one UE's traffic out of the
+	// shared mid-path captures. Note the sender capture is the FIFO the
+	// TB matcher replays, so Flows must cover every flow that entered
+	// the monitored UE's uplink buffer, not just the flows of interest.
+	Flows []uint32
+
 	// Offsets are the estimated clock offsets (local minus true) for each
 	// capture point, from NTP/probe synchronization. Missing points are
 	// assumed perfectly synchronized.
@@ -85,6 +93,11 @@ type Report struct {
 	Frames  []FrameView
 	// byKey indexes Packets for tests and downstream tools.
 	byKey map[pktKey]int
+	// fifoLeft holds, per Packets index, the bytes the TB matcher's FIFO
+	// replay never drained into a transport block (nil when no TBs were
+	// supplied). LiveCorrelator's trim uses it to find a prefix whose
+	// matcher state is fully settled.
+	fifoLeft []int64
 }
 
 type pktKey struct {
@@ -123,9 +136,27 @@ func Correlate(in Input) *Report {
 		return in.Offsets[p]
 	}
 
+	var flowOK map[uint32]bool
+	if len(in.Flows) > 0 {
+		flowOK = make(map[uint32]bool, len(in.Flows))
+		for _, f := range in.Flows {
+			flowOK[f] = true
+		}
+	}
+	keep := func(flow uint32) bool { return flowOK == nil || flowOK[flow] }
+
 	// 1. Build per-packet views from the sender capture (the session's
 	//    send order), correcting clocks.
 	senderRecs := packet.SortedByTime(in.Sender)
+	if flowOK != nil {
+		kept := senderRecs[:0]
+		for _, r := range senderRecs {
+			if keep(r.Flow) {
+				kept = append(kept, r)
+			}
+		}
+		senderRecs = kept
+	}
 	for _, r := range senderRecs {
 		v := PacketView{
 			Flow: r.Flow, Seq: r.Seq, Kind: r.Kind,
@@ -140,6 +171,9 @@ func Correlate(in Input) *Report {
 
 	// 2. Join the core and receiver captures.
 	for _, r := range in.Core {
+		if !keep(r.Flow) {
+			continue
+		}
 		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
 			v := &rep.Packets[i]
 			v.CoreAt = r.LocalTime - off(packet.PointCore)
@@ -148,6 +182,9 @@ func Correlate(in Input) *Report {
 		}
 	}
 	for _, r := range in.Receiver {
+		if !keep(r.Flow) {
+			continue
+		}
 		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
 			v := &rep.Packets[i]
 			v.ReceiverAt = r.LocalTime - off(packet.PointReceiver)
@@ -198,6 +235,7 @@ func matchTBs(rep *Report, in Input, senderRecs []packet.Record, senderOff time.
 		i := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
 		fifo = append(fifo, fifoEntry{idx: i, remaining: int64(r.Size), sentAt: rep.Packets[i].SentAt})
 	}
+	rep.fifoLeft = make([]int64, len(rep.Packets))
 
 	type carry struct {
 		firstTB, lastTB *tbProcess
@@ -236,6 +274,10 @@ func matchTBs(rep *Report, in Input, senderRecs []packet.Record, senderOff time.
 				head++
 			}
 		}
+	}
+
+	for _, e := range fifo {
+		rep.fifoLeft[e.idx] = e.remaining
 	}
 
 	for idx, c := range carries {

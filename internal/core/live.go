@@ -102,27 +102,139 @@ func (lc *LiveCorrelator) Advance(now time.Duration) {
 	}
 
 	// Trim state that can no longer influence unemitted packets.
-	lc.trim(horizon)
+	lc.trim(horizon, rep, senderOff)
 }
 
-// trim discards consumed state so memory stays bounded on long sessions.
-// It only fires when every fed packet has been emitted: at that point the
-// FIFO byte matcher owes nothing to the old records, and the causality
-// check keeps any retained old TB from being mis-assigned to packets sent
-// later.
-func (lc *LiveCorrelator) trim(horizon time.Duration) {
-	if lc.Pending() != 0 {
+// trim discards consumed state so memory — and with it each Advance's
+// re-correlation cost — stays bounded on long sessions.
+//
+// Fully drained, everything resets. Mid-stream, the emitted sender
+// prefix is cut where the batch matcher's state is settled, so a rerun
+// over the trimmed buffers reproduces the full rerun for every kept
+// packet:
+//
+//   - every trimmed packet must be fully drained (fifoLeft == 0) — a
+//     packet with unmatched bytes still absorbs future TB budget, and
+//     removing it would shift all later matches;
+//   - the boundary cannot split a transport block: FIFO draining makes
+//     each TB's carried packets contiguous, so it suffices that the last
+//     trimmed and first kept packet share no TB.
+//
+// TBs carried only by trimmed packets have poured their budget into the
+// prefix and can never serve a kept packet (the FIFO head never moves
+// backwards), so their attempt records go too, as do settled TBs too old
+// to pass the causality check against any kept-or-future packet.
+func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff time.Duration) {
+	if lc.Pending() == 0 {
+		lc.sender = lc.sender[:0]
+		lc.core = lc.core[:0]
+		lc.emitted = 0
+		keepFrom := horizon - time.Second
+		tbCut := 0
+		for tbCut < len(lc.tbs) && lc.tbs[tbCut].At < keepFrom {
+			tbCut++
+		}
+		lc.tbs = lc.tbs[tbCut:]
 		return
 	}
-	lc.sender = lc.sender[:0]
-	lc.core = lc.core[:0]
-	lc.emitted = 0
-	keepFrom := horizon - time.Second
-	tbCut := 0
-	for tbCut < len(lc.tbs) && lc.tbs[tbCut].At < keepFrom {
-		tbCut++
+	if lc.emitted == 0 || rep == nil || rep.fifoLeft == nil {
+		// Without TB telemetry there is no matcher state to settle; the
+		// full-drain reset above bounds that regime.
+		return
 	}
-	lc.tbs = lc.tbs[tbCut:]
+	viewIdx := func(i int) (int, bool) {
+		r := lc.sender[i]
+		idx, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
+		return idx, ok
+	}
+	tbsOf := func(i int) []uint64 {
+		if idx, ok := viewIdx(i); ok {
+			return rep.Packets[idx].TBIDs
+		}
+		return nil
+	}
+	cut := lc.emitted
+	for i := 0; i < cut; i++ {
+		idx, ok := viewIdx(i)
+		if !ok || rep.fifoLeft[idx] != 0 {
+			cut = i
+			break
+		}
+	}
+	for cut > 0 && sharesTB(tbsOf(cut-1), tbsOf(cut)) {
+		cut--
+	}
+	if cut == 0 {
+		return
+	}
+
+	trimmedKeys := make(map[pktKey]bool, cut)
+	trimmedTBs := make(map[uint64]bool)
+	for i := 0; i < cut; i++ {
+		r := lc.sender[i]
+		trimmedKeys[pktKey{r.Flow, r.Seq, r.Kind}] = true
+		for _, id := range tbsOf(i) {
+			trimmedTBs[id] = true
+		}
+	}
+	// Guard: a TB also carried by a kept packet stays (the boundary rule
+	// makes this unreachable, but the invariant is cheap to enforce).
+	for i := cut; i < len(lc.sender); i++ {
+		for _, id := range tbsOf(i) {
+			delete(trimmedTBs, id)
+		}
+	}
+
+	// Settled old TBs: initial attempt too old to satisfy causality
+	// against the first kept (hence any later) packet, and no attempt
+	// recent enough for the HARQ process to still be running.
+	tol := lc.in.MatchTolerance
+	if tol == 0 {
+		tol = 5 * time.Millisecond
+	}
+	firstKeptSent := lc.sender[cut].LocalTime - senderOff
+	causalLimit := firstKeptSent - lc.in.SlotDuration - tol
+	settleLimit := horizon - time.Second
+	initialAt := make(map[uint64]time.Duration)
+	latestAt := make(map[uint64]time.Duration)
+	for _, tb := range lc.tbs {
+		if t, ok := initialAt[tb.TBID]; !ok || tb.At < t {
+			initialAt[tb.TBID] = tb.At
+		}
+		if tb.At > latestAt[tb.TBID] {
+			latestAt[tb.TBID] = tb.At
+		}
+	}
+
+	lc.sender = lc.sender[:copy(lc.sender, lc.sender[cut:])]
+	lc.emitted -= cut
+	keptCore := lc.core[:0]
+	for _, r := range lc.core {
+		if !trimmedKeys[pktKey{r.Flow, r.Seq, r.Kind}] {
+			keptCore = append(keptCore, r)
+		}
+	}
+	lc.core = keptCore
+	keptTBs := lc.tbs[:0]
+	for _, tb := range lc.tbs {
+		if trimmedTBs[tb.TBID] || (initialAt[tb.TBID] < causalLimit && latestAt[tb.TBID] < settleLimit) {
+			continue
+		}
+		keptTBs = append(keptTBs, tb)
+	}
+	lc.tbs = keptTBs
+}
+
+// sharesTB reports whether two TB id sets intersect.
+func sharesTB(a, b []uint64) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Pending reports how many fed packets await emission.

@@ -7,6 +7,7 @@ import (
 	"athena/internal/clock"
 	"athena/internal/packet"
 	"athena/internal/ran"
+	"athena/internal/telemetry"
 )
 
 // liveBed runs the same workload as runBed but streams records into a
@@ -114,6 +115,104 @@ func TestLiveEmissionLatencyBounded(t *testing.T) {
 	}
 	if got[0].SeenCore {
 		t.Fatal("lost packet marked seen")
+	}
+}
+
+// feedStep advances a synthetic never-draining session by one packet:
+// seq's sender record arrives now, while the previous packet's TB and
+// core arrival resolve it. The freshest packet is therefore always
+// unresolved at Advance time, keeping Pending() positive — the regime
+// the mid-stream trim exists for. Spacing is 10 ms per seq.
+func feedStep(lc *LiveCorrelator, seq uint32) {
+	now := time.Duration(seq) * 10 * time.Millisecond
+	lc.OnSenderRecord(packet.Record{
+		Point: packet.PointSender, Kind: packet.KindVideo,
+		Flow: 1, Seq: seq, Size: 1200, LocalTime: now,
+	})
+	if seq == 0 {
+		return
+	}
+	prev := now - 10*time.Millisecond
+	lc.OnTB(telemetry.TBRecord{
+		At: prev + 2*time.Millisecond, TBID: uint64(seq), UE: 1,
+		TBS: 1200, UsedBytes: 1200, Grant: telemetry.GrantProactive,
+	})
+	lc.OnCoreRecord(packet.Record{
+		Point: packet.PointCore, Kind: packet.KindVideo,
+		Flow: 1, Seq: seq - 1, Size: 1200, LocalTime: prev + 6*time.Millisecond,
+	})
+}
+
+// TestLiveMidStreamTrimBoundsBuffers drives a session that never fully
+// drains — there is always one unresolved packet in flight — and checks
+// the mid-stream trim still bounds every buffer. Before the prefix trim
+// existed, sender/core/tbs grew linearly for the whole session whenever
+// Pending() never reached zero.
+func TestLiveMidStreamTrimBoundsBuffers(t *testing.T) {
+	lc := NewLive(Input{SlotDuration: 500 * time.Microsecond}, nil)
+	const n = 2000
+	maxSender, maxCore, maxTBs := 0, 0, 0
+	for i := 0; i < n; i++ {
+		feedStep(lc, uint32(i))
+		// The freshest packet's TB and core record are not fed yet at
+		// Advance time: hold it back by advancing only to its send time,
+		// inside the flush horizon, so Pending() stays positive.
+		lc.Advance(time.Duration(i) * 10 * time.Millisecond)
+		if lc.Pending() == 0 && i > 0 {
+			t.Fatalf("iteration %d: fully drained; this test must exercise the mid-stream path", i)
+		}
+		if len(lc.sender) > maxSender {
+			maxSender = len(lc.sender)
+		}
+		if len(lc.core) > maxCore {
+			maxCore = len(lc.core)
+		}
+		if len(lc.tbs) > maxTBs {
+			maxTBs = len(lc.tbs)
+		}
+	}
+	// The horizon is FlushAfter (500 ms) = 50 packets of history, plus
+	// the 1 s TB settle window; anything linear in n means the trim
+	// regressed.
+	const bound = 300
+	if maxSender > bound || maxCore > bound || maxTBs > bound {
+		t.Fatalf("buffers unbounded mid-stream: sender<=%d core<=%d tbs<=%d (bound %d)",
+			maxSender, maxCore, maxTBs, bound)
+	}
+}
+
+// TestLiveMidStreamTrimMatchesBatch replays a real testbed workload with
+// aggressive flushing (forcing many mid-stream trims) and checks every
+// emitted view against the full batch correlation — the trim must never
+// change what is emitted.
+func TestLiveMidStreamTrimMatchesBatch(t *testing.T) {
+	views, bed := runLive(t, 3*time.Second, 150*time.Millisecond)
+	batch := Correlate(bed.input(nil))
+	for _, v := range views {
+		bv, ok := batch.Packet(v.Flow, v.Seq, v.Kind)
+		if !ok {
+			t.Fatalf("batch missing %d/%d", v.Flow, v.Seq)
+		}
+		if !v.SeenCore {
+			continue
+		}
+		if v.ULDelay != bv.ULDelay || !equalIDs(v.TBIDs, bv.TBIDs) {
+			t.Fatalf("seq %d diverged after trim: ul %v/%v tbs %v/%v",
+				v.Seq, v.ULDelay, bv.ULDelay, v.TBIDs, bv.TBIDs)
+		}
+	}
+}
+
+// BenchmarkLiveSteadyState measures the steady-state per-packet cost of
+// a never-draining live session. With the prefix trim this is flat —
+// each Advance re-correlates only the bounded window — where the
+// pre-trim correlator re-scanned the full session history every call.
+func BenchmarkLiveSteadyState(b *testing.B) {
+	lc := NewLive(Input{SlotDuration: 500 * time.Microsecond}, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		feedStep(lc, uint32(i))
+		lc.Advance(time.Duration(i) * 10 * time.Millisecond)
 	}
 }
 

@@ -117,10 +117,10 @@ func medianDuration(ds []time.Duration) time.Duration {
 // predictiveGrants issues grants at predicted demand times; BSR remains
 // active as the learning signal and fallback.
 func (r *RAN) predictiveGrants(u *UE, now time.Duration) []*grant {
-	p := r.predictors[u.ID]
+	p := u.pred
 	if p == nil {
 		p = &predictor{}
-		r.predictors[u.ID] = p
+		u.pred = p
 	}
 	var gs []*grant
 	if p.primed && p.period > 0 {

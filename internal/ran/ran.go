@@ -24,14 +24,10 @@ type RAN struct {
 	Telemetry *telemetry.Collector
 
 	// pendingGrants are requested/app-aware grants not yet executable.
+	// Per-UE grant/BSR/predictor state lives on the UE itself, so each
+	// attachment's scheduling pipeline is self-contained.
 	pendingGrants []*grant
-	// outstanding tracks requested-but-not-yet-executed bytes per UE so
-	// repeated BSRs are not double-counted.
-	outstanding map[uint32]units.ByteCount
-
-	appState   map[uint32]*appAwareState
-	predictors map[uint32]*predictor
-	rrStart    int
+	rrStart       int
 
 	// faded reports whether the cell is currently in a channel fade.
 	faded   bool
@@ -64,14 +60,11 @@ func New(s *sim.Simulator, cfg Config, core packet.Handler) *RAN {
 		core = packet.Discard
 	}
 	r := &RAN{
-		Cfg:         cfg,
-		sim:         s,
-		rng:         s.NewStream(),
-		core:        core,
-		Telemetry:   &telemetry.Collector{},
-		outstanding: make(map[uint32]units.ByteCount),
-		appState:    make(map[uint32]*appAwareState),
-		predictors:  make(map[uint32]*predictor),
+		Cfg:       cfg,
+		sim:       s,
+		rng:       s.NewStream(),
+		core:      core,
+		Telemetry: &telemetry.Collector{},
 	}
 	// TDD: the UL slot is the last slot of each period. FDD: the uplink
 	// carrier is continuously available, one opportunity per slot.
@@ -164,16 +157,16 @@ func (r *RAN) onULSlot() {
 	now := r.sim.Now()
 	capacity := r.effectiveCapacity()
 
-	// 1. Gather this slot's executable grants into per-UE queues.
-	//    Within a UE: backlogged requested grants first (FIFO), then
-	//    app-aware/oracle, then the speculative proactive grant — under
-	//    load the gNB cannot afford speculative allocations, which is why
-	//    the paper only sees proactive TBs helping in a lightly-used cell.
-	perUE := make(map[uint32][]*grant, len(r.ues))
+	// 1. Gather this slot's executable grants into per-UE queues (the
+	//    UE's transient slotGrants field). Within a UE: backlogged
+	//    requested grants first (FIFO), then app-aware/oracle, then the
+	//    speculative proactive grant — under load the gNB cannot afford
+	//    speculative allocations, which is why the paper only sees
+	//    proactive TBs helping in a lightly-used cell.
 	var still []*grant
 	for _, g := range r.pendingGrants {
 		if g.due <= now {
-			perUE[g.ue.ID] = append(perUE[g.ue.ID], g)
+			g.ue.slotGrants = append(g.ue.slotGrants, g)
 		} else {
 			still = append(still, g)
 		}
@@ -183,14 +176,14 @@ func (r *RAN) onULSlot() {
 		switch u.Sched {
 		case SchedOracle:
 			if u.bufBytes > 0 {
-				perUE[u.ID] = append(perUE[u.ID], &grant{ue: u, tbs: u.bufBytes, due: now, kind: telemetry.GrantOracle})
+				u.slotGrants = append(u.slotGrants, &grant{ue: u, tbs: u.bufBytes, due: now, kind: telemetry.GrantOracle})
 			}
 		case SchedAppAware:
-			perUE[u.ID] = append(perUE[u.ID], r.appAwareGrants(u, now)...)
+			u.slotGrants = append(u.slotGrants, r.appAwareGrants(u, now)...)
 		case SchedPredictive:
-			perUE[u.ID] = append(perUE[u.ID], r.predictiveGrants(u, now)...)
+			u.slotGrants = append(u.slotGrants, r.predictiveGrants(u, now)...)
 		case SchedCombined, SchedProactiveOnly:
-			perUE[u.ID] = append(perUE[u.ID], &grant{ue: u, tbs: r.Cfg.ProactiveTBS, due: now, kind: telemetry.GrantProactive})
+			u.slotGrants = append(u.slotGrants, &grant{ue: u, tbs: r.Cfg.ProactiveTBS, due: now, kind: telemetry.GrantProactive})
 		}
 	}
 
@@ -204,12 +197,11 @@ func (r *RAN) onULSlot() {
 		progress := false
 		for i := 0; i < n && remaining > 0; i++ {
 			u := r.ues[(r.rrStart+i)%n]
-			q := perUE[u.ID]
-			if len(q) == 0 {
+			if len(u.slotGrants) == 0 {
 				continue
 			}
-			g := q[0]
-			perUE[u.ID] = q[1:]
+			g := u.slotGrants[0]
+			u.slotGrants = u.slotGrants[1:]
 			progress = true
 			tbs := g.tbs
 			if tbs > remaining {
@@ -222,11 +214,10 @@ func (r *RAN) onULSlot() {
 			}
 			remaining -= tbs
 			if g.kind == telemetry.GrantRequested {
-				out := r.outstanding[g.ue.ID] - tbs
-				if out < 0 {
-					out = 0
+				u.outstanding -= tbs
+				if u.outstanding < 0 {
+					u.outstanding = 0
 				}
-				r.outstanding[g.ue.ID] = out
 			}
 			used := r.transmitTB(g.ue, tbs, g.kind, now)
 			// A predicted grant that fired just before its burst arrived
@@ -247,14 +238,17 @@ func (r *RAN) onULSlot() {
 		}
 	}
 	// Unserved grants: requested/app-aware defer to the next slot;
-	// proactive allocations simply lapse.
-	for _, q := range perUE {
-		for _, g := range q {
+	// proactive allocations simply lapse. Walked in attach order — the
+	// deferral is per-UE FIFO, so cross-UE order is immaterial, but the
+	// deterministic walk keeps the telemetry stream reproducible.
+	for _, u := range r.ues {
+		for _, g := range u.slotGrants {
 			if g.kind == telemetry.GrantRequested || g.kind == telemetry.GrantAppAware {
 				g.due = now + r.Cfg.ULPeriod()
 				r.pendingGrants = append(r.pendingGrants, g)
 			}
 		}
+		u.slotGrants = u.slotGrants[:0]
 	}
 	if n > 0 {
 		r.rrStart = (r.rrStart + 1) % n
@@ -266,7 +260,7 @@ func (r *RAN) onULSlot() {
 		if u.Sched == SchedProactiveOnly || u.Sched == SchedOracle {
 			continue
 		}
-		want := u.bufBytes - r.outstanding[u.ID]
+		want := u.bufBytes - u.outstanding
 		if want <= 0 {
 			continue
 		}
@@ -274,14 +268,14 @@ func (r *RAN) onULSlot() {
 			// A fresh-backlog BSR is the predictor's learning signal: it
 			// fires exactly when no pre-scheduled grant absorbed the
 			// traffic.
-			if p := r.predictors[u.ID]; p != nil {
-				p.observeDemand(want, now)
+			if u.pred != nil {
+				u.pred.observeDemand(want, now)
 			}
 		}
 		if want > capacity {
 			want = capacity // a grant cannot exceed one slot
 		}
-		r.outstanding[u.ID] += want
+		u.outstanding += want
 		r.pendingGrants = append(r.pendingGrants, &grant{
 			ue: u, tbs: want, due: now + r.Cfg.SchedDelay, kind: telemetry.GrantRequested,
 		})
@@ -343,6 +337,7 @@ func (r *RAN) attempt(tb *transportBlock, round int, at time.Duration) {
 				s.entry.abandoned = true
 				s.entry.pkt.GroundTruth.Dropped = true
 				r.Drops++
+				tb.ue.Drops++
 			}
 		}
 		return
@@ -394,10 +389,10 @@ type appAwareState struct {
 // when a sample or frame is generated"). A small BSR fallback (handled by
 // the normal BSR path) cleans up estimation error.
 func (r *RAN) appAwareGrants(u *UE, now time.Duration) []*grant {
-	st := r.appState[u.ID]
+	st := u.app
 	if st == nil {
 		st = &appAwareState{}
-		r.appState[u.ID] = st
+		u.app = st
 	}
 	if u.hasMeta {
 		m := u.latestMeta

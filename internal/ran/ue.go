@@ -72,6 +72,20 @@ type UE struct {
 	buf      []*bufEntry
 	bufBytes units.ByteCount
 
+	// Per-UE scheduler state: outstanding tracks requested-but-not-yet-
+	// executed bytes so repeated BSRs are not double-counted; slotGrants
+	// is the transient executable-grant queue of the current UL slot;
+	// app/pred hold the app-aware and predictive schedulers' learned
+	// models for this attachment.
+	outstanding units.ByteCount
+	slotGrants  []*grant
+	app         *appAwareState
+	pred        *predictor
+
+	// Drops counts this UE's packets abandoned after HARQ exhaustion
+	// (the cell-wide total is RAN.Drops).
+	Drops int
+
 	// Downlink delivery handler (packets arriving from the network to
 	// this UE's host).
 	Downlink packet.Handler

@@ -190,9 +190,15 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) {
 }
 
 // Flush drops every completed cache entry, releasing the retained
-// Results. In-flight entries are kept so concurrent waiters stay valid.
-// Long-lived processes sweeping many distinct configs call this between
-// sweeps to bound memory.
+// Results. An in-flight entry — one whose run has not yet closed done —
+// is never removed: the running goroutine still owns the cache slot, so
+// every waiter blocked on it in a concurrent RunAll (and every later
+// arrival that joined before completion) receives the Result that run
+// produces, and the config stays deduplicated until it finishes. A
+// Flush racing a batch therefore cannot drop an entry another waiter is
+// blocked on, lose a result, or cause a duplicate simulation; it only
+// forgets finished work. Long-lived processes sweeping many distinct
+// configs call this between sweeps to bound memory.
 func (p *Pool) Flush() {
 	p.mu.Lock()
 	defer p.mu.Unlock()

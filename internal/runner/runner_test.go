@@ -201,6 +201,54 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 	}
 }
 
+// TestFlushKeepsInFlightEntries pins the documented Flush contract: a
+// Flush racing an in-flight batch never removes the running entry, so a
+// concurrent waiter that joined the same config still receives the
+// Result that run produces (no lost result, no duplicate simulation).
+func TestFlushKeepsInFlightEntries(t *testing.T) {
+	p := New(2)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var execs atomic.Int32
+	p.runFn = func(cfg scenario.Config) *scenario.Result {
+		execs.Add(1)
+		close(started)
+		<-block
+		return &scenario.Result{Cfg: cfg}
+	}
+	cfg := scenario.Defaults()
+
+	resCh := make(chan *scenario.Result, 2)
+	go func() { resCh <- p.Run(cfg) }()
+	<-started
+	// A second caller joins the in-flight entry while it is blocked.
+	go func() { resCh <- p.Run(cfg) }()
+
+	// Flush mid-flight: the running entry must survive.
+	p.Flush()
+	if n := p.CacheLen(); n != 1 {
+		t.Fatalf("CacheLen after mid-flight Flush = %d, want 1 (in-flight entry dropped)", n)
+	}
+
+	close(block)
+	a, b := <-resCh, <-resCh
+	if a == nil || b == nil {
+		t.Fatal("a waiter lost its result to the racing Flush")
+	}
+	if a != b {
+		t.Fatal("waiters received different Results for one config")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("config simulated %d times, want exactly 1", got)
+	}
+
+	// Once the run has completed, Flush may forget it.
+	p.Flush()
+	if n := p.CacheLen(); n != 0 {
+		t.Fatalf("CacheLen after post-completion Flush = %d, want 0", n)
+	}
+}
+
 func TestFlush(t *testing.T) {
 	p := New(2)
 	p.runFn = func(cfg scenario.Config) *scenario.Result { return &scenario.Result{Cfg: cfg} }

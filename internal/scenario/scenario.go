@@ -1,29 +1,28 @@
-// Package scenario wires the full Athena testbed of Fig 2: a VCA sender
+// Package scenario wires the full Athena testbed of Fig 2: VCA senders
 // behind a private 5G cell (or the paper's fixed-latency emulated
 // baseline), the mobile core, a WAN hop to the conferencing SFU, the
-// receiver, ICMP probes from the core, NTP-imperfect host clocks, passive
-// captures at all four points, and the PHY telemetry stream — then runs
-// the Athena correlator over the collected traces.
+// receivers, ICMP probes from the core, NTP-imperfect host clocks,
+// passive captures at all four points, and the PHY telemetry stream —
+// then runs the Athena correlator over the collected traces.
+//
+// The testbed is assembled from composable stage builders (see
+// topology.go): an access stage (5G / Wi-Fi / LEO / wired), a wired-path
+// stage (core → WAN → SFU), per-UE endpoint stages (VCA sender/receiver
+// + congestion controller) and a capture plane. Topology composes N such
+// UEs on one cell; Config / Run is the single-UE compatibility surface
+// every figure driver uses.
 package scenario
 
 import (
 	"time"
 
-	"athena/internal/cc"
 	"athena/internal/cc/gcc"
-	"athena/internal/cc/l4s"
-	"athena/internal/cc/lossbased"
-	"athena/internal/cc/nada"
 	"athena/internal/cc/pcc"
 	"athena/internal/cc/phyaware"
-	"athena/internal/cc/scream"
-	"athena/internal/clock"
 	"athena/internal/core"
-	"athena/internal/netem"
 	"athena/internal/packet"
 	"athena/internal/probe"
 	"athena/internal/ran"
-	"athena/internal/rtp"
 	"athena/internal/sim"
 	"athena/internal/stats"
 	"athena/internal/units"
@@ -72,7 +71,7 @@ const (
 	AccessWired AccessKind = "wired" // clean fixed-latency reference
 )
 
-// Config describes one testbed run.
+// Config describes one single-UE testbed run.
 type Config struct {
 	Seed     int64
 	Duration time.Duration
@@ -188,316 +187,31 @@ type Result struct {
 	EstimatedOffsets map[packet.Point]time.Duration
 }
 
-// Run executes the scenario and correlates the traces.
+// Run executes the scenario and correlates the traces. It is the
+// single-UE compatibility constructor over RunTopology: a 1-UE topology
+// run is byte-identical to the historical monolithic implementation.
 func Run(cfg Config) *Result {
-	s := sim.New(cfg.Seed)
-	var alloc packet.Alloc
-	res := &Result{Cfg: cfg, Sim: s}
-
-	// Host clocks (NTP-synchronized: small residual offsets).
-	senderClk := &clock.HostClock{Name: "sender", Offset: cfg.SenderClockOffset}
-	coreClk := clock.Perfect("core")
-	sfuClk := clock.Perfect("sfu")
-	recvClk := &clock.HostClock{Name: "receiver", Offset: cfg.ReceiverClockOffset}
-
-	// Congestion controller.
-	res.RanDelayBySeq = phyaware.NewTable()
-	var ctrl cc.Controller
-	switch cfg.Controller {
-	case CtlNADA:
-		ctrl = nada.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-	case CtlSCReAM:
-		ctrl = scream.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-	case CtlLossBased:
-		ctrl = lossbased.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-	case CtlL4S:
-		ctrl = l4s.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-	case CtlPCC:
-		p := pcc.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-		res.PCC = p
-		ctrl = p
-	case CtlPHYAware:
-		g := phyaware.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate, res.RanDelayBySeq)
-		g.CaptureTrace = cfg.CaptureGCC
-		res.GCC = g
-		ctrl = g
-	default: // CtlGCC, CtlMaskedGCC
-		g := gcc.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-		g.CaptureTrace = cfg.CaptureGCC
-		res.GCC = g
-		ctrl = g
+	tr := RunTopology(SingleUE(cfg))
+	u := tr.UEs[0]
+	return &Result{
+		Cfg:              cfg,
+		Sim:              tr.Sim,
+		Sender:           u.Sender,
+		Receiver:         u.Receiver,
+		RAN:              tr.RAN,
+		GCC:              u.GCC,
+		PCC:              u.PCC,
+		Prober:           tr.Prober,
+		CapSender:        u.CapSender,
+		CapCore:          tr.CapCore,
+		CapSFU:           tr.CapSFU,
+		CapReceiver:      u.CapReceiver,
+		DLSender:         u.DLSender,
+		DLReceiver:       u.DLReceiver,
+		Report:           u.Report,
+		RanDelayBySeq:    u.RanDelayBySeq,
+		EstimatedOffsets: u.EstimatedOffsets,
 	}
-
-	// ---- Downstream path: core → WAN → SFU → WAN → receiver. ----
-	var recv *vca.Receiver
-	cap4 := packet.NewCapture(packet.PointReceiver, recvClk, s.Now,
-		packet.HandlerFunc(func(p *packet.Packet) { recv.Handle(p) }))
-	res.CapReceiver = cap4
-	wanDown := netem.NewLink(s, "sfu-recv", 7*time.Millisecond, units.Gbps, cap4)
-	wanDown.Jitter = 500 * time.Microsecond
-
-	var prober *probe.Prober
-	sfu := netem.NewSFU(s, wanDown)
-	// The SFU is also the probe target: echoes return to the core.
-	wanBackToCore := netem.NewLink(s, "sfu-core", 8*time.Millisecond, units.Gbps, packet.HandlerFunc(func(p *packet.Packet) {
-		prober.Done(p)
-	}))
-	wanBackToCore.Jitter = 500 * time.Microsecond
-	sfuIngress := packet.HandlerFunc(func(p *packet.Packet) {
-		if p.Kind == packet.KindICMP {
-			prober.Echo(p)
-			wanBackToCore.Handle(p)
-			return
-		}
-		cap3 := res.CapSFU
-		cap3.Handle(p)
-	})
-	res.CapSFU = packet.NewCapture(packet.PointSFU, sfuClk, s.Now, sfu)
-	wanUp := netem.NewLink(s, "core-sfu", 8*time.Millisecond, units.Gbps, sfuIngress)
-	wanUp.Jitter = 500 * time.Microsecond
-	if cfg.ECN && cfg.RAN.ECNThreshold == 0 {
-		// Shallow L4S marking at the true bottleneck: the UE uplink queue.
-		cfg.RAN.ECNThreshold = 6000
-	}
-
-	// Delay injection stage (Fig 8 episodes) between core and WAN.
-	inject := newInjector(s, cfg, wanUp)
-
-	// ---- Core capture (point ②), which also fills the PHY side-channel
-	// table from the RAN's attribution. ----
-	// NTP state (EstimateOffsets): the sender host's exchanges ride the
-	// real uplink/downlink; the receiver's ride the wired path.
-	const ntpFlow = 999
-	var ue *ran.UE
-	ntpT1 := make(map[uint64]time.Duration)
-	ntpT2 := make(map[uint64]time.Duration)
-	var senderNTP, recvNTP clock.SyncEstimator
-
-	const dlVideoSSRC, dlAudioSSRC = 11, 12
-	cap2Next := packet.HandlerFunc(func(p *packet.Packet) {
-		// NTP requests from the sender host turn around at the core.
-		if p.Kind == packet.KindCross && p.Flow == ntpFlow {
-			ntpT2[p.ID] = coreClk.Read(s.Now())
-			if ue != nil {
-				res.RAN.SendDownlink(ue, p)
-			}
-			return
-		}
-		// The far participant's RTCP feedback exits the uplink here and
-		// heads back across the WAN to the remote sender.
-		if p.Kind == packet.KindRTCP && p.Flow == dlVideoSSRC {
-			if res.DLSender != nil {
-				snd := res.DLSender
-				s.After(15*time.Millisecond, func() { snd.HandleFeedback(p) })
-			}
-			return
-		}
-		if rp, ok := p.Payload.(*rtp.Packet); ok && rp.HasTWSeq {
-			// Only the RAN-mechanical share is reported: slot alignment
-			// and BSR scheduling are bounded by one BSR cycle; queue wait
-			// beyond that indicates genuine contention and must stay
-			// visible to the sender's congestion controller.
-			mech := p.GroundTruth.UEQueueWait
-			if lim := cfg.RAN.SchedDelay + cfg.RAN.ULPeriod(); mech > lim {
-				mech = lim
-			}
-			res.RanDelayBySeq.Set(rp.TWSeq, mech+p.GroundTruth.HARQDelay)
-		}
-		inject.Handle(p)
-	})
-	cap2 := packet.NewCapture(packet.PointCore, coreClk, s.Now, cap2Next)
-	res.CapCore = cap2
-
-	// ---- Uplink path: sender capture ① → access network → ②. ----
-	var senderOut packet.Handler
-	switch {
-	case cfg.Emulated:
-		// tc shapes at packet granularity; spread each UL-period budget
-		// over the finer slot grid so the emulated link is smooth.
-		sched := make([]units.ByteCount, 0, len(cfg.EmulatedSchedule)*cfg.RAN.SlotsPerPeriod)
-		for _, b := range cfg.EmulatedSchedule {
-			per := b / units.ByteCount(cfg.RAN.SlotsPerPeriod)
-			for i := 0; i < cfg.RAN.SlotsPerPeriod; i++ {
-				sched = append(sched, per)
-			}
-		}
-		senderOut = netem.NewFixedLatencyLink(s, cfg.EmulatedLatency, sched, cfg.RAN.SlotDuration, cap2)
-	case cfg.Access == AccessWiFi:
-		wcfg := cfg.WiFi
-		if wcfg.PHYRate == 0 {
-			wcfg = wifi.Defaults()
-		}
-		senderOut = wifi.New(s, wcfg, cap2)
-	case cfg.Access == AccessLEO:
-		senderOut = netem.NewLEOLink(s, cap2)
-	case cfg.Access == AccessWired:
-		senderOut = netem.NewFixedLatencyLink(s, cfg.EmulatedLatency,
-			[]units.ByteCount{cfg.RAN.SlotCapacity()}, cfg.RAN.ULPeriod(), cap2)
-	default: // Access5G
-		res.RAN = ran.New(s, cfg.RAN, cap2)
-		ue = res.RAN.AttachUE(1, cfg.Sched)
-		senderOut = ue
-		if cfg.CrossUEs > 0 && len(cfg.CrossPhases) > 0 {
-			ran.NewCrossSource(s, res.RAN, &alloc, cfg.CrossUEs, 100, cfg.CrossPhases)
-		}
-	}
-	cap1 := packet.NewCapture(packet.PointSender, senderClk, s.Now, senderOut)
-	res.CapSender = cap1
-
-	// ---- Sender. ----
-	snd := vca.NewSender(s, &alloc, vca.SenderConfig{
-		VideoSSRC:  1,
-		AudioSSRC:  2,
-		Controller: ctrl,
-		AttachMeta: cfg.AttachMeta,
-		ECT:        cfg.ECN,
-		Seed:       cfg.Seed + 10,
-	}, cap1)
-	res.Sender = snd
-
-	// ---- Feedback return path: receiver → SFU → core → downlink. ----
-	maskIfNeeded := func(p *packet.Packet) *packet.Packet {
-		if cfg.Controller != CtlMaskedGCC {
-			return p
-		}
-		if fb, ok := p.Payload.(*rtp.Feedback); ok {
-			p.Payload = cc.MaskFeedback(fb, res.RanDelayBySeq.RANDelay)
-		}
-		return p
-	}
-	toSender := packet.HandlerFunc(func(p *packet.Packet) {
-		p = maskIfNeeded(p)
-		if ue != nil {
-			res.RAN.SendDownlink(ue, p)
-		} else {
-			s.After(cfg.EmulatedLatency, func() { snd.HandleFeedback(p) })
-		}
-	})
-	if ue != nil {
-		// The UE host demuxes downlink arrivals: transport-wide feedback
-		// for the local sender, far-party media for the DL receiver.
-		ue.Downlink = packet.HandlerFunc(func(p *packet.Packet) {
-			if p.Kind == packet.KindCross && p.Flow == ntpFlow {
-				// NTP reply back at the sender host.
-				if t1, ok := ntpT1[p.ID]; ok {
-					stamp := ntpT2[p.ID]
-					senderNTP.Add(clock.ProbeSample{
-						T1: t1, T2: stamp, T3: stamp,
-						T4: senderClk.Read(s.Now()),
-					})
-					delete(ntpT1, p.ID)
-					delete(ntpT2, p.ID)
-				}
-				return
-			}
-			if _, isFB := p.Payload.(*rtp.Feedback); isFB {
-				snd.HandleFeedback(p)
-				return
-			}
-			if res.DLReceiver != nil {
-				res.DLReceiver.Handle(p)
-			}
-		})
-	}
-	fbWan := netem.NewLink(s, "recv-core", 15*time.Millisecond, units.Gbps, toSender)
-	recv = vca.NewReceiver(s, &alloc, 1, snd.FrameStore, fbWan)
-	res.Receiver = recv
-
-	// ---- Far participant (TwoParty): remote sender → WAN → downlink →
-	// receiver on the UE host; feedback rides the UE uplink. ----
-	if cfg.TwoParty && ue != nil {
-		dlCtrl := gcc.New(cfg.InitialRate, cfg.MinRate, cfg.MaxRate)
-		remoteOut := packet.HandlerFunc(func(p *packet.Packet) {
-			s.After(15*time.Millisecond, func() { res.RAN.SendDownlink(ue, p) })
-		})
-		res.DLSender = vca.NewSender(s, &alloc, vca.SenderConfig{
-			VideoSSRC:  dlVideoSSRC,
-			AudioSSRC:  dlAudioSSRC,
-			Controller: dlCtrl,
-			Seed:       cfg.Seed + 20,
-		}, remoteOut)
-		// Feedback from the UE host enters the UE's uplink buffer and
-		// competes with the local media.
-		fbUp := packet.HandlerFunc(func(p *packet.Packet) { ue.Handle(p) })
-		res.DLReceiver = vca.NewReceiver(s, &alloc, dlVideoSSRC, res.DLSender.FrameStore, fbUp)
-	}
-
-	// ---- Prober (core → SFU → core, every 20 ms). ----
-	prober = probe.New(s, &alloc, 50, wanUp)
-	res.Prober = prober
-
-	// ---- NTP clients (EstimateOffsets). ----
-	if cfg.EstimateOffsets {
-		if ue != nil {
-			cap1ref := res.CapSender
-			s.Every(50*time.Millisecond, 250*time.Millisecond, func() {
-				p := alloc.New(packet.KindCross, ntpFlow, 90, s.Now())
-				ntpT1[p.ID] = senderClk.Read(s.Now())
-				cap1ref.Handle(p)
-			})
-		}
-		// The receiver host syncs over the wired path (15 ms symmetric
-		// with sub-ms jitter).
-		ntpRNG := s.NewStream()
-		s.Every(70*time.Millisecond, 250*time.Millisecond, func() {
-			t1 := recvClk.Read(s.Now())
-			owdUp := 15*time.Millisecond + time.Duration(ntpRNG.Int63n(int64(time.Millisecond)))
-			owdDn := 15*time.Millisecond + time.Duration(ntpRNG.Int63n(int64(time.Millisecond)))
-			arrive := s.Now() + owdUp
-			s.At(arrive+owdDn, func() {
-				stamp := coreClk.Read(arrive)
-				recvNTP.Add(clock.ProbeSample{T1: t1, T2: stamp, T3: stamp, T4: recvClk.Read(s.Now())})
-			})
-		})
-	}
-
-	// ---- Go. ----
-	snd.Start()
-	recv.Start()
-	if res.DLSender != nil {
-		res.DLSender.Start()
-		res.DLReceiver.Start()
-	}
-	prober.Start(cfg.ProbeInterval)
-	s.RunUntil(cfg.Duration)
-	snd.Stop()
-	if res.DLSender != nil {
-		res.DLSender.Stop()
-	}
-
-	// ---- Correlate. ----
-	offsets := map[packet.Point]time.Duration{
-		packet.PointSender:   cfg.SenderClockOffset,
-		packet.PointReceiver: cfg.ReceiverClockOffset,
-	}
-	if cfg.EstimateOffsets {
-		// ProbeSample.Offset() is remote-minus-reference; the reference
-		// clock here is the host being synchronized, and the core is the
-		// (true-time) remote, so the host's own offset is the negation.
-		offsets = map[packet.Point]time.Duration{}
-		if est, ok := senderNTP.Estimate(); ok {
-			offsets[packet.PointSender] = -est
-		}
-		if est, ok := recvNTP.Estimate(); ok {
-			offsets[packet.PointReceiver] = -est
-		}
-		res.EstimatedOffsets = offsets
-	}
-	in := core.Input{
-		Sender:           res.CapSender.Records,
-		Core:             res.CapCore.Records,
-		SFU:              res.CapSFU.Records,
-		Receiver:         res.CapReceiver.Records,
-		Offsets:          offsets,
-		SlotDuration:     cfg.RAN.SlotDuration,
-		CoreDelay:        cfg.RAN.CoreDelay,
-		ProbeOWDBaseline: probeBaseline(prober),
-	}
-	if res.RAN != nil {
-		in.TBs = res.RAN.Telemetry.ForUE(1)
-	}
-	res.Report = core.Correlate(in)
-	return res
 }
 
 // probeBaseline estimates the media path's core→receiver propagation from
@@ -519,26 +233,27 @@ func probeBaseline(p *probe.Prober) time.Duration {
 // injector adds configured delay spikes and jitter episodes to media
 // packets (probes bypass it: they enter at the core, after this stage).
 type injector struct {
-	s    *sim.Simulator
-	cfg  Config
-	next packet.Handler
-	rng  interface{ Int63n(int64) int64 }
+	s       *sim.Simulator
+	spikes  []Spike
+	jitters []JitterEpisode
+	next    packet.Handler
+	rng     interface{ Int63n(int64) int64 }
 }
 
-func newInjector(s *sim.Simulator, cfg Config, next packet.Handler) *injector {
-	return &injector{s: s, cfg: cfg, next: next, rng: s.NewStream()}
+func newInjector(s *sim.Simulator, spikes []Spike, jitters []JitterEpisode, next packet.Handler) *injector {
+	return &injector{s: s, spikes: spikes, jitters: jitters, next: next, rng: s.NewStream()}
 }
 
 // Handle applies any active episode's extra delay.
 func (in *injector) Handle(p *packet.Packet) {
 	now := in.s.Now()
 	var extra time.Duration
-	for _, sp := range in.cfg.Spikes {
+	for _, sp := range in.spikes {
 		if now >= sp.Start && now < sp.End {
 			extra += sp.Extra
 		}
 	}
-	for _, j := range in.cfg.Jitters {
+	for _, j := range in.jitters {
 		if now >= j.Start && now < j.End && j.Amp > 0 {
 			extra += time.Duration(in.rng.Int63n(int64(j.Amp)))
 		}

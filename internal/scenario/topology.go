@@ -1,0 +1,725 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"athena/internal/cc"
+	"athena/internal/cc/gcc"
+	"athena/internal/cc/l4s"
+	"athena/internal/cc/lossbased"
+	"athena/internal/cc/nada"
+	"athena/internal/cc/pcc"
+	"athena/internal/cc/phyaware"
+	"athena/internal/cc/scream"
+	"athena/internal/clock"
+	"athena/internal/core"
+	"athena/internal/netem"
+	"athena/internal/packet"
+	"athena/internal/probe"
+	"athena/internal/ran"
+	"athena/internal/rtp"
+	"athena/internal/sim"
+	"athena/internal/units"
+	"athena/internal/vca"
+	"athena/internal/wifi"
+)
+
+// UESpec describes one VCA participant in a Topology: its endpoint
+// pipeline (sender, receiver, congestion controller), clock errors, and
+// scheduling strategy. Flow identifiers are derived from the UE's index
+// (see UEFlowIDs), so specs compose without manual SSRC bookkeeping.
+type UESpec struct {
+	// Seed drives this UE's media randomness (camera content, encoder
+	// noise): the sender uses Seed+10 and the far party Seed+20,
+	// matching the legacy single-UE wiring when Seed equals the
+	// topology seed.
+	Seed int64
+
+	Controller  ControllerKind
+	InitialRate units.BitRate
+	MinRate     units.BitRate
+	MaxRate     units.BitRate
+	AttachMeta  bool
+	CaptureGCC  bool
+	ECN         bool
+	Sched       ran.SchedulerKind
+
+	// TwoParty adds this participant's far end: a remote sender whose
+	// media ride the 5G downlink to a receiver on the UE host, with RTCP
+	// feedback competing on the UE uplink. Only meaningful on Access5G.
+	TwoParty bool
+
+	SenderClockOffset   time.Duration
+	ReceiverClockOffset time.Duration
+	EstimateOffsets     bool
+}
+
+// Topology describes a composable testbed: N VCA UEs, each with its own
+// endpoint pipeline, host clocks, captures and flow IDs, sharing one
+// access network (a single RAN cell under Access5G, whose schedulers
+// arbitrate the competing UE buffers) and one wired core→WAN→SFU path.
+// A 1-UE topology is byte-identical to the historical monolithic Run
+// (the golden-compat test pins this).
+type Topology struct {
+	Seed     int64
+	Duration time.Duration
+
+	// Access selects the uplink technology; empty means Access5G. Under
+	// Access5G all UEs attach to one shared cell; the other access kinds
+	// give each UE a private link.
+	Access AccessKind
+	WiFi   wifi.Config
+
+	RAN              ran.Config
+	CrossUEs         int
+	CrossPhases      []ran.CrossPhase
+	Emulated         bool
+	EmulatedLatency  time.Duration
+	EmulatedSchedule []units.ByteCount
+
+	Spikes  []Spike
+	Jitters []JitterEpisode
+
+	ProbeInterval time.Duration
+
+	UEs []UESpec
+}
+
+// FlowIDs are the flow identifiers owned by one UE.
+type FlowIDs struct {
+	Video   uint32 // uplink media SSRCs
+	Audio   uint32
+	DLVideo uint32 // far-party (downlink) media SSRCs
+	DLAudio uint32
+	NTP     uint32 // NTP exchange flow (KindCross)
+}
+
+// UEFlowIDs returns the flow identifiers of the i-th UE. UE 0 keeps the
+// legacy single-UE assignment (video 1, audio 2, downlink 11/12,
+// NTP 999); later UEs shift the media block by 20 per index and count
+// NTP flows down from 999.
+func UEFlowIDs(i int) FlowIDs {
+	b := uint32(20 * i)
+	return FlowIDs{Video: b + 1, Audio: b + 2, DLVideo: b + 11, DLAudio: b + 12, NTP: 999 - uint32(i)}
+}
+
+// All lists every flow the UE owns across both directions.
+func (f FlowIDs) All() []uint32 {
+	return []uint32{f.Video, f.Audio, f.DLVideo, f.DLAudio, f.NTP}
+}
+
+// proberFlow is the core→SFU ICMP probe flow. It never collides with
+// UEFlowIDs: media flows are ≡ 1, 2, 11 or 12 (mod 20).
+const proberFlow = 50
+
+// crossFlowBase returns the first flow ID for synthetic cross-traffic
+// UEs, above every VCA UE's block. The legacy base 100 is kept whenever
+// the UE blocks stay below it.
+func (top Topology) crossFlowBase() uint32 {
+	if base := uint32(20*len(top.UEs) + 20); base > 100 {
+		return base
+	}
+	return 100
+}
+
+// DefaultUE returns a UESpec with the Defaults() endpoint knobs.
+func DefaultUE() UESpec {
+	d := Defaults()
+	return UESpec{
+		Controller:  d.Controller,
+		InitialRate: d.InitialRate,
+		MinRate:     d.MinRate,
+		MaxRate:     d.MaxRate,
+		Sched:       d.Sched,
+	}
+}
+
+// NewTopology returns a topology of n default VCA UEs sharing one
+// Defaults() cell, each with a distinct media seed.
+func NewTopology(n int) Topology {
+	cfg := Defaults()
+	top := Topology{
+		Seed:            cfg.Seed,
+		Duration:        cfg.Duration,
+		RAN:             cfg.RAN,
+		EmulatedLatency: cfg.EmulatedLatency,
+		ProbeInterval:   cfg.ProbeInterval,
+	}
+	for i := 0; i < n; i++ {
+		u := DefaultUE()
+		u.Seed = cfg.Seed + int64(1000*i)
+		top.UEs = append(top.UEs, u)
+	}
+	return top
+}
+
+// SingleUE lifts a legacy single-sender Config into a 1-UE Topology:
+// the compatibility constructor Run and the root drivers go through it.
+func SingleUE(cfg Config) Topology {
+	return Topology{
+		Seed:             cfg.Seed,
+		Duration:         cfg.Duration,
+		Access:           cfg.Access,
+		WiFi:             cfg.WiFi,
+		RAN:              cfg.RAN,
+		CrossUEs:         cfg.CrossUEs,
+		CrossPhases:      cfg.CrossPhases,
+		Emulated:         cfg.Emulated,
+		EmulatedLatency:  cfg.EmulatedLatency,
+		EmulatedSchedule: cfg.EmulatedSchedule,
+		Spikes:           cfg.Spikes,
+		Jitters:          cfg.Jitters,
+		ProbeInterval:    cfg.ProbeInterval,
+		UEs: []UESpec{{
+			Seed:                cfg.Seed,
+			Controller:          cfg.Controller,
+			InitialRate:         cfg.InitialRate,
+			MinRate:             cfg.MinRate,
+			MaxRate:             cfg.MaxRate,
+			AttachMeta:          cfg.AttachMeta,
+			CaptureGCC:          cfg.CaptureGCC,
+			ECN:                 cfg.ECN,
+			Sched:               cfg.Sched,
+			TwoParty:            cfg.TwoParty,
+			SenderClockOffset:   cfg.SenderClockOffset,
+			ReceiverClockOffset: cfg.ReceiverClockOffset,
+			EstimateOffsets:     cfg.EstimateOffsets,
+		}},
+	}
+}
+
+// UEResult is one UE's slice of a topology run.
+type UEResult struct {
+	Spec  UESpec
+	ID    uint32 // RAN UE identifier (1 + index)
+	Flows FlowIDs
+
+	Sender   *vca.Sender
+	Receiver *vca.Receiver
+	GCC      *gcc.GCC        // nil unless a GCC-family controller ran
+	PCC      *pcc.Controller // nil unless the PCC controller ran
+
+	CapSender, CapReceiver *packet.Capture
+
+	// DLSender / DLReceiver are the far participant's endpoints when
+	// Spec.TwoParty is set (nil otherwise).
+	DLSender   *vca.Sender
+	DLReceiver *vca.Receiver
+
+	// Report is the Athena correlation restricted to this UE's flows.
+	Report *core.Report
+
+	RanDelayBySeq    *phyaware.Table
+	EstimatedOffsets map[packet.Point]time.Duration
+}
+
+// TopologyResult bundles the shared infrastructure and per-UE results.
+type TopologyResult struct {
+	Top    Topology
+	Sim    *sim.Simulator
+	RAN    *ran.RAN // nil off the Access5G path
+	Prober *probe.Prober
+
+	// CapCore / CapSFU are the shared mid-path captures; every UE's
+	// packets interleave here, which is exactly why per-UE correlation
+	// takes a flow filter.
+	CapCore, CapSFU *packet.Capture
+
+	UEs []*UEResult
+}
+
+// build threads state through the stage builders. Each stage mirrors one
+// block of the historical monolithic Run, in the same construction order
+// — RNG streams derive from the master seed in creation sequence, so the
+// order IS the behavior.
+type build struct {
+	top   Topology
+	s     *sim.Simulator
+	alloc packet.Alloc
+	res   *TopologyResult
+	ues   []*ueBuild
+
+	coreClk, sfuClk *clock.HostClock
+
+	prober *probe.Prober
+	wanUp  *netem.Link
+	inject *injector
+	cell   *ran.RAN
+
+	// Routing tables for the shared stages, keyed by flow.
+	downlinkByFlow map[uint32]*netem.Link // SFU egress → subscriber WAN leg
+	ueByNTPFlow    map[uint32]*ueBuild    // core NTP turnaround
+	ueByDLFB       map[uint32]*ueBuild    // far-party RTCP feedback
+	ueByMedia      map[uint32]*ueBuild    // PHY side-channel table fill
+}
+
+// ueBuild is the under-construction state of one UE's endpoint pipeline.
+type ueBuild struct {
+	spec  UESpec
+	idx   int
+	flows FlowIDs
+	res   *UEResult
+
+	senderClk, recvClk *clock.HostClock
+	ctrl               cc.Controller
+	ranUE              *ran.UE
+	snd                *vca.Sender
+	wanDown            *netem.Link
+
+	ntpT1, ntpT2       map[uint64]time.Duration
+	senderNTP, recvNTP clock.SyncEstimator
+}
+
+// RunTopology executes a multi-UE testbed and correlates each UE's
+// traces. It is deterministic in Topology alone.
+func RunTopology(top Topology) *TopologyResult {
+	if len(top.UEs) == 0 {
+		u := DefaultUE()
+		u.Seed = top.Seed
+		top.UEs = []UESpec{u}
+	}
+	b := newBuild(top)
+	b.buildWiredPath()
+	b.buildAccess()
+	for _, ub := range b.ues {
+		b.buildEndpoint(ub)
+	}
+	b.buildProbes()
+	b.start()
+	b.s.RunUntil(top.Duration)
+	b.stop()
+	b.correlate()
+	return b.res
+}
+
+// newBuild allocates the simulator, host clocks and controllers — no
+// events or RNG streams yet.
+func newBuild(top Topology) *build {
+	s := sim.New(top.Seed)
+	b := &build{
+		top:            top,
+		s:              s,
+		res:            &TopologyResult{Top: top, Sim: s},
+		coreClk:        clock.Perfect("core"),
+		sfuClk:         clock.Perfect("sfu"),
+		downlinkByFlow: make(map[uint32]*netem.Link),
+		ueByNTPFlow:    make(map[uint32]*ueBuild),
+		ueByDLFB:       make(map[uint32]*ueBuild),
+		ueByMedia:      make(map[uint32]*ueBuild),
+	}
+	for i, spec := range top.UEs {
+		sname, rname := "sender", "receiver"
+		if i > 0 {
+			sname = fmt.Sprintf("sender%d", i+1)
+			rname = fmt.Sprintf("receiver%d", i+1)
+		}
+		ub := &ueBuild{
+			spec:      spec,
+			idx:       i,
+			flows:     UEFlowIDs(i),
+			senderClk: &clock.HostClock{Name: sname, Offset: spec.SenderClockOffset},
+			recvClk:   &clock.HostClock{Name: rname, Offset: spec.ReceiverClockOffset},
+			ntpT1:     make(map[uint64]time.Duration),
+			ntpT2:     make(map[uint64]time.Duration),
+			res: &UEResult{
+				Spec:          spec,
+				ID:            uint32(i + 1),
+				Flows:         UEFlowIDs(i),
+				RanDelayBySeq: phyaware.NewTable(),
+			},
+		}
+		ub.ctrl = buildController(spec, ub.res)
+		b.ues = append(b.ues, ub)
+		b.res.UEs = append(b.res.UEs, ub.res)
+		b.ueByNTPFlow[ub.flows.NTP] = ub
+		b.ueByMedia[ub.flows.Video] = ub
+		b.ueByMedia[ub.flows.Audio] = ub
+		if spec.TwoParty {
+			b.ueByDLFB[ub.flows.DLVideo] = ub
+		}
+	}
+	return b
+}
+
+// buildController instantiates one UE's congestion controller, recording
+// the concrete GCC/PCC handle for drivers that read their traces.
+func buildController(spec UESpec, res *UEResult) cc.Controller {
+	switch spec.Controller {
+	case CtlNADA:
+		return nada.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+	case CtlSCReAM:
+		return scream.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+	case CtlLossBased:
+		return lossbased.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+	case CtlL4S:
+		return l4s.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+	case CtlPCC:
+		p := pcc.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+		res.PCC = p
+		return p
+	case CtlPHYAware:
+		g := phyaware.New(spec.InitialRate, spec.MinRate, spec.MaxRate, res.RanDelayBySeq)
+		g.CaptureTrace = spec.CaptureGCC
+		res.GCC = g
+		return g
+	default: // CtlGCC, CtlMaskedGCC
+		g := gcc.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+		g.CaptureTrace = spec.CaptureGCC
+		res.GCC = g
+		return g
+	}
+}
+
+// buildWiredPath constructs the shared downstream stage — per-UE
+// receiver edges, the SFU with its per-flow egress demux, the WAN legs,
+// the core capture (point ②) and the delay-injection stage.
+func (b *build) buildWiredPath() {
+	s := b.s
+
+	// Receiver edge (point ④) and the SFU→receiver WAN leg, one per UE.
+	for _, ub := range b.ues {
+		ub := ub
+		cap4 := packet.NewCapture(packet.PointReceiver, ub.recvClk, s.Now,
+			packet.HandlerFunc(func(p *packet.Packet) { ub.recv().Handle(p) }))
+		ub.res.CapReceiver = cap4
+		ub.wanDown = netem.NewLink(s, "sfu-recv", 7*time.Millisecond, units.Gbps, cap4)
+		ub.wanDown.Jitter = 500 * time.Microsecond
+		b.downlinkByFlow[ub.flows.Video] = ub.wanDown
+		b.downlinkByFlow[ub.flows.Audio] = ub.wanDown
+	}
+
+	// SFU egress demux: each media flow goes to its subscriber's WAN
+	// leg. Flows nobody owns (cross traffic reaching the SFU) fan out on
+	// the first UE's path, as in the single-party testbed where one
+	// receiver host saw all SFU egress; VCA receivers ignore them.
+	egress := packet.HandlerFunc(func(p *packet.Packet) {
+		if l, ok := b.downlinkByFlow[p.Flow]; ok {
+			l.Handle(p)
+			return
+		}
+		b.ues[0].wanDown.Handle(p)
+	})
+	sfu := netem.NewSFU(s, egress)
+	// The SFU is also the probe target: echoes return to the core.
+	wanBackToCore := netem.NewLink(s, "sfu-core", 8*time.Millisecond, units.Gbps, packet.HandlerFunc(func(p *packet.Packet) {
+		b.prober.Done(p)
+	}))
+	wanBackToCore.Jitter = 500 * time.Microsecond
+	sfuIngress := packet.HandlerFunc(func(p *packet.Packet) {
+		if p.Kind == packet.KindICMP {
+			b.prober.Echo(p)
+			wanBackToCore.Handle(p)
+			return
+		}
+		b.res.CapSFU.Handle(p)
+	})
+	b.res.CapSFU = packet.NewCapture(packet.PointSFU, b.sfuClk, s.Now, sfu)
+	b.wanUp = netem.NewLink(s, "core-sfu", 8*time.Millisecond, units.Gbps, sfuIngress)
+	b.wanUp.Jitter = 500 * time.Microsecond
+	if b.top.RAN.ECNThreshold == 0 {
+		for _, ub := range b.ues {
+			if ub.spec.ECN {
+				// Shallow L4S marking at the true bottleneck: the UE
+				// uplink queue.
+				b.top.RAN.ECNThreshold = 6000
+				break
+			}
+		}
+	}
+
+	// Delay injection stage (Fig 8 episodes) between core and WAN.
+	b.inject = newInjector(s, b.top.Spikes, b.top.Jitters, b.wanUp)
+
+	b.res.CapCore = packet.NewCapture(packet.PointCore, b.coreClk, s.Now, b.coreIngress())
+}
+
+// coreIngress is the capture-plane stage at point ②: NTP turnaround,
+// far-party feedback hand-off, PHY side-channel table fill, then the
+// injection stage toward the WAN — all demuxed per owning UE.
+func (b *build) coreIngress() packet.Handler {
+	s := b.s
+	return packet.HandlerFunc(func(p *packet.Packet) {
+		// NTP requests from a UE host turn around at the core.
+		if p.Kind == packet.KindCross {
+			if ub, ok := b.ueByNTPFlow[p.Flow]; ok {
+				ub.ntpT2[p.ID] = b.coreClk.Read(s.Now())
+				if ub.ranUE != nil {
+					b.cell.SendDownlink(ub.ranUE, p)
+				}
+				return
+			}
+		}
+		// A far participant's RTCP feedback exits the uplink here and
+		// heads back across the WAN to the remote sender.
+		if p.Kind == packet.KindRTCP {
+			if ub, ok := b.ueByDLFB[p.Flow]; ok {
+				if snd := ub.res.DLSender; snd != nil {
+					s.After(15*time.Millisecond, func() { snd.HandleFeedback(p) })
+				}
+				return
+			}
+		}
+		if rp, ok := p.Payload.(*rtp.Packet); ok && rp.HasTWSeq {
+			if ub, ok := b.ueByMedia[p.Flow]; ok {
+				// Only the RAN-mechanical share is reported: slot
+				// alignment and BSR scheduling are bounded by one BSR
+				// cycle; queue wait beyond that indicates genuine
+				// contention and must stay visible to the sender's
+				// congestion controller.
+				mech := p.GroundTruth.UEQueueWait
+				if lim := b.top.RAN.SchedDelay + b.top.RAN.ULPeriod(); mech > lim {
+					mech = lim
+				}
+				ub.res.RanDelayBySeq.Set(rp.TWSeq, mech+p.GroundTruth.HARQDelay)
+			}
+		}
+		b.inject.Handle(p)
+	})
+}
+
+// buildAccess constructs the shared access stage: under Access5G, one
+// cell whose scheduler arbitrates every attached UE's buffer (plus
+// optional synthetic cross traffic). The other access kinds give each
+// UE a private link, built by buildEndpoint.
+func (b *build) buildAccess() {
+	if b.top.Emulated || (b.top.Access != "" && b.top.Access != Access5G) {
+		return
+	}
+	b.cell = ran.New(b.s, b.top.RAN, b.res.CapCore)
+	b.res.RAN = b.cell
+	for _, ub := range b.ues {
+		ub.ranUE = b.cell.AttachUE(uint32(ub.idx+1), ub.spec.Sched)
+	}
+	if b.top.CrossUEs > 0 && len(b.top.CrossPhases) > 0 {
+		ran.NewCrossSource(b.s, b.cell, &b.alloc, b.top.CrossUEs, b.top.crossFlowBase(), b.top.CrossPhases)
+	}
+}
+
+// buildEndpoint constructs one UE's endpoint pipeline: sender capture
+// (point ①) in front of its access egress, the VCA sender, the feedback
+// return path with the downlink demux, the receiver, and — for TwoParty
+// specs — the far participant's endpoints.
+func (b *build) buildEndpoint(ub *ueBuild) {
+	s, top, spec := b.s, b.top, ub.spec
+
+	// Access egress: the shared cell's UE attachment, or a private
+	// emulated / Wi-Fi / LEO / wired link into the core capture.
+	var senderOut packet.Handler
+	switch {
+	case ub.ranUE != nil:
+		senderOut = ub.ranUE
+	case top.Emulated:
+		// tc shapes at packet granularity; spread each UL-period budget
+		// over the finer slot grid so the emulated link is smooth.
+		sched := make([]units.ByteCount, 0, len(top.EmulatedSchedule)*top.RAN.SlotsPerPeriod)
+		for _, bytes := range top.EmulatedSchedule {
+			per := bytes / units.ByteCount(top.RAN.SlotsPerPeriod)
+			for i := 0; i < top.RAN.SlotsPerPeriod; i++ {
+				sched = append(sched, per)
+			}
+		}
+		senderOut = netem.NewFixedLatencyLink(s, top.EmulatedLatency, sched, top.RAN.SlotDuration, b.res.CapCore)
+	case top.Access == AccessWiFi:
+		wcfg := top.WiFi
+		if wcfg.PHYRate == 0 {
+			wcfg = wifi.Defaults()
+		}
+		senderOut = wifi.New(s, wcfg, b.res.CapCore)
+	case top.Access == AccessLEO:
+		senderOut = netem.NewLEOLink(s, b.res.CapCore)
+	default: // AccessWired
+		senderOut = netem.NewFixedLatencyLink(s, top.EmulatedLatency,
+			[]units.ByteCount{top.RAN.SlotCapacity()}, top.RAN.ULPeriod(), b.res.CapCore)
+	}
+	cap1 := packet.NewCapture(packet.PointSender, ub.senderClk, s.Now, senderOut)
+	ub.res.CapSender = cap1
+
+	snd := vca.NewSender(s, &b.alloc, vca.SenderConfig{
+		VideoSSRC:  ub.flows.Video,
+		AudioSSRC:  ub.flows.Audio,
+		Controller: ub.ctrl,
+		AttachMeta: spec.AttachMeta,
+		ECT:        spec.ECN,
+		Seed:       spec.Seed + 10,
+	}, cap1)
+	ub.snd = snd
+	ub.res.Sender = snd
+
+	// Feedback return path: receiver → SFU → core → downlink.
+	maskIfNeeded := func(p *packet.Packet) *packet.Packet {
+		if spec.Controller != CtlMaskedGCC {
+			return p
+		}
+		if fb, ok := p.Payload.(*rtp.Feedback); ok {
+			p.Payload = cc.MaskFeedback(fb, ub.res.RanDelayBySeq.RANDelay)
+		}
+		return p
+	}
+	toSender := packet.HandlerFunc(func(p *packet.Packet) {
+		p = maskIfNeeded(p)
+		if ub.ranUE != nil {
+			b.cell.SendDownlink(ub.ranUE, p)
+		} else {
+			s.After(top.EmulatedLatency, func() { snd.HandleFeedback(p) })
+		}
+	})
+	if ub.ranUE != nil {
+		// The UE host demuxes downlink arrivals: transport-wide feedback
+		// for the local sender, far-party media for the DL receiver.
+		ub.ranUE.Downlink = packet.HandlerFunc(func(p *packet.Packet) {
+			if p.Kind == packet.KindCross && p.Flow == ub.flows.NTP {
+				// NTP reply back at the sender host.
+				if t1, ok := ub.ntpT1[p.ID]; ok {
+					stamp := ub.ntpT2[p.ID]
+					ub.senderNTP.Add(clock.ProbeSample{
+						T1: t1, T2: stamp, T3: stamp,
+						T4: ub.senderClk.Read(s.Now()),
+					})
+					delete(ub.ntpT1, p.ID)
+					delete(ub.ntpT2, p.ID)
+				}
+				return
+			}
+			if _, isFB := p.Payload.(*rtp.Feedback); isFB {
+				snd.HandleFeedback(p)
+				return
+			}
+			if ub.res.DLReceiver != nil {
+				ub.res.DLReceiver.Handle(p)
+			}
+		})
+	}
+	fbWan := netem.NewLink(s, "recv-core", 15*time.Millisecond, units.Gbps, toSender)
+	recv := vca.NewReceiver(s, &b.alloc, ub.flows.Video, snd.FrameStore, fbWan)
+	ub.res.Receiver = recv
+
+	// Far participant (TwoParty): remote sender → WAN → downlink →
+	// receiver on the UE host; feedback rides the UE uplink.
+	if spec.TwoParty && ub.ranUE != nil {
+		dlCtrl := gcc.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
+		remoteOut := packet.HandlerFunc(func(p *packet.Packet) {
+			s.After(15*time.Millisecond, func() { b.cell.SendDownlink(ub.ranUE, p) })
+		})
+		ub.res.DLSender = vca.NewSender(s, &b.alloc, vca.SenderConfig{
+			VideoSSRC:  ub.flows.DLVideo,
+			AudioSSRC:  ub.flows.DLAudio,
+			Controller: dlCtrl,
+			Seed:       spec.Seed + 20,
+		}, remoteOut)
+		// Feedback from the UE host enters the UE's uplink buffer and
+		// competes with the local media.
+		fbUp := packet.HandlerFunc(func(p *packet.Packet) { ub.ranUE.Handle(p) })
+		ub.res.DLReceiver = vca.NewReceiver(s, &b.alloc, ub.flows.DLVideo, ub.res.DLSender.FrameStore, fbUp)
+	}
+}
+
+// recv defers the receiver lookup: the point-④ capture is built before
+// the endpoint stage fills in the receiver.
+func (ub *ueBuild) recv() *vca.Receiver { return ub.res.Receiver }
+
+// buildProbes constructs the shared ICMP prober and, per UE with
+// EstimateOffsets, the NTP clients whose sender-side exchanges ride the
+// real access path.
+func (b *build) buildProbes() {
+	s := b.s
+	b.prober = probe.New(s, &b.alloc, proberFlow, b.wanUp)
+	b.res.Prober = b.prober
+
+	for _, ub := range b.ues {
+		ub := ub
+		if !ub.spec.EstimateOffsets {
+			continue
+		}
+		if ub.ranUE != nil {
+			cap1 := ub.res.CapSender
+			flow := ub.flows.NTP
+			s.Every(50*time.Millisecond, 250*time.Millisecond, func() {
+				p := b.alloc.New(packet.KindCross, flow, 90, s.Now())
+				ub.ntpT1[p.ID] = ub.senderClk.Read(s.Now())
+				cap1.Handle(p)
+			})
+		}
+		// The receiver host syncs over the wired path (15 ms symmetric
+		// with sub-ms jitter).
+		ntpRNG := s.NewStream()
+		s.Every(70*time.Millisecond, 250*time.Millisecond, func() {
+			t1 := ub.recvClk.Read(s.Now())
+			owdUp := 15*time.Millisecond + time.Duration(ntpRNG.Int63n(int64(time.Millisecond)))
+			owdDn := 15*time.Millisecond + time.Duration(ntpRNG.Int63n(int64(time.Millisecond)))
+			arrive := s.Now() + owdUp
+			s.At(arrive+owdDn, func() {
+				stamp := b.coreClk.Read(arrive)
+				ub.recvNTP.Add(clock.ProbeSample{T1: t1, T2: stamp, T3: stamp, T4: ub.recvClk.Read(s.Now())})
+			})
+		})
+	}
+}
+
+// start launches every endpoint and the prober.
+func (b *build) start() {
+	for _, ub := range b.ues {
+		ub.snd.Start()
+		ub.res.Receiver.Start()
+		if ub.res.DLSender != nil {
+			ub.res.DLSender.Start()
+			ub.res.DLReceiver.Start()
+		}
+	}
+	b.prober.Start(b.top.ProbeInterval)
+}
+
+// stop halts the media sources after the run.
+func (b *build) stop() {
+	for _, ub := range b.ues {
+		ub.snd.Stop()
+		if ub.res.DLSender != nil {
+			ub.res.DLSender.Stop()
+		}
+	}
+}
+
+// correlate runs the Athena correlator once per UE: private captures
+// (points ① and ④) plus the shared mid-path captures restricted to the
+// UE's flows, and the cell telemetry restricted to the UE's TBs.
+func (b *build) correlate() {
+	baseline := probeBaseline(b.prober)
+	multi := len(b.ues) > 1
+	for _, ub := range b.ues {
+		offsets := map[packet.Point]time.Duration{
+			packet.PointSender:   ub.spec.SenderClockOffset,
+			packet.PointReceiver: ub.spec.ReceiverClockOffset,
+		}
+		if ub.spec.EstimateOffsets {
+			// ProbeSample.Offset() is remote-minus-reference; the
+			// reference clock here is the host being synchronized, and
+			// the core is the (true-time) remote, so the host's own
+			// offset is the negation.
+			offsets = map[packet.Point]time.Duration{}
+			if est, ok := ub.senderNTP.Estimate(); ok {
+				offsets[packet.PointSender] = -est
+			}
+			if est, ok := ub.recvNTP.Estimate(); ok {
+				offsets[packet.PointReceiver] = -est
+			}
+			ub.res.EstimatedOffsets = offsets
+		}
+		in := core.Input{
+			Sender:           ub.res.CapSender.Records,
+			Core:             b.res.CapCore.Records,
+			SFU:              b.res.CapSFU.Records,
+			Receiver:         ub.res.CapReceiver.Records,
+			Offsets:          offsets,
+			SlotDuration:     b.top.RAN.SlotDuration,
+			CoreDelay:        b.top.RAN.CoreDelay,
+			ProbeOWDBaseline: baseline,
+		}
+		if multi {
+			in.Flows = ub.flows.All()
+		}
+		if b.cell != nil {
+			in.TBs = b.cell.Telemetry.ForUE(uint32(ub.idx + 1))
+		}
+		ub.res.Report = core.Correlate(in)
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadJSON checks the reader's contract on arbitrary byte streams:
+// it never panics, every accepted event passes validate, errors name a
+// plausible line, and accepted streams survive a write/read round trip.
+func FuzzReadJSON(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteJSON(&good, []Event{
+		{At: 10 * time.Millisecond, Layer: "net", Point: "sender", Kind: "video", Flow: 1, Seq: 7, Size: 1200},
+		{At: 12 * time.Millisecond, Layer: "phy", TBID: 3, UE: 1, TBS: 1500, Used: 1200, Grant: "proactive", Round: 1, Fail: true},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte("{oops"))
+	f.Add([]byte(`{"at_ns":1,"layer":"net"} trailing`))
+	f.Add([]byte(`{"at_ns":-5,"layer":"net"}`))
+	f.Add([]byte(`{"at_ns":1,"layer":"quantum"}`))
+	f.Add([]byte(`{"at_ns":1,"layer":"phy","tbs":100,"used":200}`))
+	f.Add([]byte(`{"at_ns":1,"layer":"phy","harq_round":-1}`))
+	f.Add([]byte(`{"at_ns":1,"layer":"net","size":-3}`))
+	f.Add([]byte(`{"at_ns":1e99,"layer":"net"}`))
+	f.Add([]byte(`{"at_ns":1,"layer":"net"}{"at_ns":2,"layer":"net"}`))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error without line position: %v", err)
+			}
+			return
+		}
+		for i, e := range evs {
+			if verr := e.validate(); verr != nil {
+				t.Fatalf("accepted event %d fails validate: %v", i, verr)
+			}
+		}
+		// Round trip: what we accepted must re-serialize and re-parse to
+		// the same events.
+		var buf bytes.Buffer
+		if werr := WriteJSON(&buf, evs); werr != nil {
+			t.Fatalf("re-serialize: %v", werr)
+		}
+		back, rerr := ReadJSON(&buf)
+		if rerr != nil {
+			t.Fatalf("re-parse of accepted stream: %v", rerr)
+		}
+		if len(back) != len(evs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(evs), len(back))
+		}
+		if len(evs) > 0 && !reflect.DeepEqual(evs, back) {
+			t.Fatal("round trip changed event content")
+		}
+	})
+}
+
+// TestReadJSONPositionalErrors pins the line numbers users will grep
+// their multi-gigabyte traces by.
+func TestReadJSONPositionalErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"syntax", "{\"at_ns\":1,\"layer\":\"net\"}\n{oops\n", "line 2"},
+		{"trailing", "{\"at_ns\":1,\"layer\":\"net\"} extra\n", "line 1: trailing data"},
+		{"negative-time", "{\"at_ns\":1,\"layer\":\"net\"}\n\n{\"at_ns\":-1,\"layer\":\"net\"}\n", "line 3"},
+		{"bad-layer", "{\"at_ns\":1,\"layer\":\"ether\"}\n", "unknown layer"},
+		{"used-exceeds-tbs", "{\"at_ns\":1,\"layer\":\"phy\",\"tbs\":10,\"used\":11}\n", "exceed"},
+		{"oversize-line", "{\"layer\":\"net\",\"point\":\"" + strings.Repeat("x", maxJSONLine) + "\"}\n", "line 1"},
+	}
+	for _, tc := range cases {
+		_, err := ReadJSON(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -73,18 +75,68 @@ func WriteJSON(w io.Writer, evs []Event) error {
 	return nil
 }
 
-// ReadJSON parses a JSONL event stream.
+// maxJSONLine bounds one JSONL event line; real events are well under
+// 1 KiB, so a longer line signals a corrupt or hostile stream.
+const maxJSONLine = 1 << 20
+
+// ReadJSON parses a JSONL event stream, strictly: one JSON object per
+// line, no trailing garbage, and every event must pass validate. Errors
+// carry the 1-based line number so a corrupt multi-gigabyte trace
+// pinpoints its bad record.
 func ReadJSON(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxJSONLine)
 	var out []Event
-	for dec.More() {
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
 		var e Event
 		if err := dec.Decode(&e); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("trace: line %d: trailing data after event object", line)
+		}
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		out = append(out, e)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
+	}
 	return out, nil
+}
+
+// validate rejects events no capture or sniffer can produce. NaN and
+// ±Inf timestamps never get this far — JSON cannot encode them, so the
+// decoder already failed — but finite nonsense (negative times, unknown
+// layers, negative sizes) decodes fine and is caught here.
+func (e *Event) validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("negative event time %v", e.At)
+	}
+	if e.Layer != "net" && e.Layer != "phy" {
+		return fmt.Errorf("unknown layer %q", e.Layer)
+	}
+	if e.Size < 0 {
+		return fmt.Errorf("negative size %d", e.Size)
+	}
+	if e.TBS < 0 || e.Used < 0 {
+		return fmt.Errorf("negative TB byte count (tbs=%d used=%d)", e.TBS, e.Used)
+	}
+	if e.Used > e.TBS {
+		return fmt.Errorf("used bytes %d exceed TBS %d", e.Used, e.TBS)
+	}
+	if e.Round < 0 {
+		return fmt.Errorf("negative HARQ round %d", e.Round)
+	}
+	return nil
 }
 
 // packetCSVHeader is the column layout of WritePacketCSV.

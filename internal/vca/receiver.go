@@ -92,6 +92,9 @@ func NewReceiver(s *sim.Simulator, alloc *packet.Alloc, videoSSRC uint32, frames
 	return r
 }
 
+// VideoSSRC reports the video flow this receiver subscribes to.
+func (r *Receiver) VideoSSRC() uint32 { return r.videoSSRC }
+
 // Start begins feedback generation and 70 fps screen sampling.
 func (r *Receiver) Start() {
 	r.fbTicker = r.sim.Every(FeedbackInterval, FeedbackInterval, r.flushFeedback)

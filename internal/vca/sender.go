@@ -95,6 +95,13 @@ func NewSender(s *sim.Simulator, alloc *packet.Alloc, cfg SenderConfig, out pack
 	return snd
 }
 
+// SSRCs reports the sender's video and audio flow identifiers —
+// multi-UE topologies assign these per participant, so downstream tools
+// read them back here instead of assuming the legacy 1/2 pair.
+func (snd *Sender) SSRCs() (video, audio uint32) {
+	return snd.cfg.VideoSSRC, snd.cfg.AudioSSRC
+}
+
 // Start begins capture at t=0: video at the current mode's cadence, audio
 // every 20 ms.
 func (snd *Sender) Start() {
