@@ -16,6 +16,7 @@ import (
 
 	"athena"
 	"athena/internal/packet"
+	"athena/internal/profiling"
 	"athena/internal/stats"
 	"athena/internal/trace"
 )
@@ -28,7 +29,15 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "simulated call duration (live mode)")
 	seed := flag.Int64("seed", 1, "simulation seed (live mode)")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run (parallel) and aggregate")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *in != "" {
 		summarizeFile(*in)

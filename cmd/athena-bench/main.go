@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"athena"
+	"athena/internal/profiling"
 )
 
 type driver struct {
@@ -63,7 +64,15 @@ func main() {
 	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
 	out := flag.String("out", "", "directory to also write per-figure CSV data into")
 	parallel := flag.Int("parallel", 1, "number of drivers to regenerate concurrently")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -319,12 +319,13 @@ func TestReconstructTBsAbandoned(t *testing.T) {
 		{TBID: 1, At: 0, UsedBytes: 100, HARQRound: 0, Failed: true},
 		{TBID: 1, At: 10 * time.Millisecond, UsedBytes: 100, HARQRound: 1, Failed: true},
 	}
-	procs := reconstructTBs(recs)
+	var sc scratch
+	procs := sc.reconstructTBs(recs)
 	if len(procs) != 1 || !procs[0].abandoned {
 		t.Fatalf("abandoned TB not detected: %+v", procs)
 	}
 	recs = append(recs, telemetry.TBRecord{TBID: 1, At: 20 * time.Millisecond, UsedBytes: 100, HARQRound: 2, Failed: false})
-	procs = reconstructTBs(recs)
+	procs = (&scratch{}).reconstructTBs(recs)
 	if procs[0].abandoned {
 		t.Fatal("recovered TB still marked abandoned")
 	}

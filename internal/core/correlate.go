@@ -56,6 +56,14 @@ type Input struct {
 	ProbeOWDBaseline time.Duration
 }
 
+// offset returns the clock offset of one capture point.
+func (in *Input) offset(p packet.Point) time.Duration {
+	if in.Offsets == nil {
+		return 0
+	}
+	return in.Offsets[p]
+}
+
 // PacketView is the correlator's per-packet output.
 type PacketView struct {
 	Flow uint32
@@ -126,68 +134,106 @@ type tbProcess struct {
 	abandoned bool
 }
 
-// Correlate runs the full pipeline.
-func Correlate(in Input) *Report {
-	rep := &Report{byKey: make(map[pktKey]int)}
-	off := func(p packet.Point) time.Duration {
-		if in.Offsets == nil {
-			return 0
-		}
-		return in.Offsets[p]
-	}
+// scratch is the correlator's working set. The batch entry point uses a
+// zero scratch per call (fresh, capacity-preallocated buffers whose
+// output-visible parts transfer into the returned Report); LiveCorrelator
+// owns a persistent scratch with reuse set, which recycles every buffer —
+// including the Report itself — so steady-state re-correlation of its
+// window allocates nothing.
+type scratch struct {
+	// reuse keeps buffers (and the Report) across correlate calls. Only
+	// safe when the caller abandons each returned Report before the next
+	// call, as LiveCorrelator does.
+	reuse bool
 
+	rep       *Report
+	senderBuf []packet.Record // filtered/sorted sender view when needed
+	flowOK    map[uint32]bool
+	fifoLeft  []int64
+	tbids     []uint64 // shared backing array carved into per-packet TBIDs
+	procs     []tbProcess
+	procIdx   map[uint64]int32
+	frameIdx  map[frameKey]int
+}
+
+// Correlate runs the full pipeline. Each call returns a freshly allocated
+// Report whose memory is independent of the input slices.
+func Correlate(in Input) *Report {
+	var sc scratch
+	return sc.correlate(in)
+}
+
+// correlate is the shared pipeline behind Correlate and LiveCorrelator.
+func (sc *scratch) correlate(in Input) *Report {
+	rep := sc.report(len(in.Sender))
+
+	// Flow filter (multi-UE topologies carving shared captures).
 	var flowOK map[uint32]bool
 	if len(in.Flows) > 0 {
-		flowOK = make(map[uint32]bool, len(in.Flows))
-		for _, f := range in.Flows {
-			flowOK[f] = true
+		if sc.flowOK == nil {
+			sc.flowOK = make(map[uint32]bool, len(in.Flows))
+		} else {
+			clear(sc.flowOK)
 		}
+		for _, f := range in.Flows {
+			sc.flowOK[f] = true
+		}
+		flowOK = sc.flowOK
 	}
-	keep := func(flow uint32) bool { return flowOK == nil || flowOK[flow] }
 
 	// 1. Build per-packet views from the sender capture (the session's
-	//    send order), correcting clocks.
-	senderRecs := packet.SortedByTime(in.Sender)
-	if flowOK != nil {
-		kept := senderRecs[:0]
+	//    send order), correcting clocks. Capture taps append under a
+	//    monotone clock, so the common case — notably every
+	//    LiveCorrelator window — is already time-ordered and skips the
+	//    copy+sort entirely; a filter or an unsorted capture falls back
+	//    to a scratch copy.
+	senderRecs := in.Sender
+	if sorted := packet.IsSortedByTime(senderRecs); !sorted || flowOK != nil {
+		buf := sc.senderBuf[:0]
 		for _, r := range senderRecs {
-			if keep(r.Flow) {
-				kept = append(kept, r)
+			if flowOK == nil || flowOK[r.Flow] {
+				buf = append(buf, r)
 			}
 		}
-		senderRecs = kept
+		if !sorted {
+			sort.Slice(buf, func(i, j int) bool { return buf[i].LocalTime < buf[j].LocalTime })
+		}
+		sc.senderBuf = buf
+		senderRecs = buf
 	}
+	senderOff := in.offset(packet.PointSender)
 	for _, r := range senderRecs {
-		v := PacketView{
+		rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}] = len(rep.Packets)
+		rep.Packets = append(rep.Packets, PacketView{
 			Flow: r.Flow, Seq: r.Seq, Kind: r.Kind,
-			SentAt:  r.LocalTime - off(packet.PointSender),
+			SentAt:  r.LocalTime - senderOff,
 			SSRC:    r.SSRC,
 			RTPTime: r.RTPTime,
 			Marker:  r.Marker,
-		}
-		rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}] = len(rep.Packets)
-		rep.Packets = append(rep.Packets, v)
+		})
 	}
 
-	// 2. Join the core and receiver captures.
+	// 2. Join the core and receiver captures against the sender index.
+	coreOff := in.offset(packet.PointCore)
 	for _, r := range in.Core {
-		if !keep(r.Flow) {
+		if flowOK != nil && !flowOK[r.Flow] {
 			continue
 		}
 		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
 			v := &rep.Packets[i]
-			v.CoreAt = r.LocalTime - off(packet.PointCore)
+			v.CoreAt = r.LocalTime - coreOff
 			v.SeenCore = true
 			v.ULDelay = v.CoreAt - v.SentAt
 		}
 	}
+	recvOff := in.offset(packet.PointReceiver)
 	for _, r := range in.Receiver {
-		if !keep(r.Flow) {
+		if flowOK != nil && !flowOK[r.Flow] {
 			continue
 		}
 		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
 			v := &rep.Packets[i]
-			v.ReceiverAt = r.LocalTime - off(packet.PointReceiver)
+			v.ReceiverAt = r.LocalTime - recvOff
 			v.SeenRecv = true
 			if v.SeenCore {
 				v.WANDelay = v.ReceiverAt - v.CoreAt
@@ -202,11 +248,31 @@ func Correlate(in Input) *Report {
 	}
 
 	// 3. Match packets to transport blocks and attribute uplink delay.
-	matchTBs(rep, in, senderRecs, off(packet.PointSender))
+	sc.matchTBs(rep, in, senderRecs)
 
 	// 4. Group packets into frames/samples and compute delay spreads.
-	rep.Frames = groupFrames(rep.Packets)
+	rep.Frames = sc.groupFrames(rep.Packets, rep.Frames)
 
+	return rep
+}
+
+// report readies the output Report: a fresh one with capacity hints in
+// batch mode, the recycled one in reuse mode.
+func (sc *scratch) report(senderHint int) *Report {
+	if !sc.reuse {
+		return &Report{
+			Packets: make([]PacketView, 0, senderHint),
+			byKey:   make(map[pktKey]int, senderHint),
+		}
+	}
+	if sc.rep == nil {
+		sc.rep = &Report{byKey: make(map[pktKey]int, senderHint)}
+	}
+	rep := sc.rep
+	rep.Packets = rep.Packets[:0]
+	rep.Frames = rep.Frames[:0]
+	rep.fifoLeft = nil
+	clear(rep.byKey)
 	return rep
 }
 
@@ -215,105 +281,133 @@ func Correlate(in Input) *Report {
 // transmission order. Byte conservation plus causality (a TB cannot carry
 // a packet sent after the TB's transmission) pins down the mapping — the
 // same reasoning Fig 9's dashed packet↔TB lines encode.
-func matchTBs(rep *Report, in Input, senderRecs []packet.Record, senderOff time.Duration) {
+//
+// rep.Packets is built 1:1 from the send-ordered sender records, so the
+// packet slice IS the FIFO: position replaces the former per-record map
+// lookup, rep.fifoLeft doubles as the in-place drain state, and every
+// packet's TBIDs are carved out of one shared backing array (appends to
+// the current FIFO head are contiguous, and the head never moves
+// backwards). The former map[int]*carry of heap-allocated pairs reduces
+// to two local process indexes finalized when the head advances.
+func (sc *scratch) matchTBs(rep *Report, in Input, senderRecs []packet.Record) {
 	if len(in.TBs) == 0 {
 		return
 	}
-	procs := reconstructTBs(in.TBs)
+	procs := sc.reconstructTBs(in.TBs)
 	tol := in.MatchTolerance
 	if tol == 0 {
 		tol = 5 * time.Millisecond
 	}
 
-	type fifoEntry struct {
-		idx       int // index into rep.Packets
-		remaining int64
-		sentAt    time.Duration
-	}
-	var fifo []fifoEntry
+	fifoLeft := sc.fifoLeft[:0]
 	for _, r := range senderRecs {
-		i := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
-		fifo = append(fifo, fifoEntry{idx: i, remaining: int64(r.Size), sentAt: rep.Packets[i].SentAt})
+		fifoLeft = append(fifoLeft, int64(r.Size))
 	}
-	rep.fifoLeft = make([]int64, len(rep.Packets))
+	sc.fifoLeft = fifoLeft
+	rep.fifoLeft = fifoLeft
 
-	type carry struct {
-		firstTB, lastTB *tbProcess
+	// Each drain iteration either completes a packet or exhausts a TB,
+	// so the shared TBID backing never exceeds len(procs)+len(packets).
+	tbids := sc.tbids[:0]
+	if cap(tbids) < len(procs)+len(rep.Packets) {
+		tbids = make([]uint64, 0, len(procs)+len(rep.Packets))
 	}
-	carries := make(map[int]*carry)
 
 	head := 0
+	tbStart := 0           // tbids index where the head packet's IDs begin
+	headFirst := int32(-1) // procs index of the head packet's first carrying TB
+	headLast := int32(-1)
 	for pi := range procs {
 		tb := &procs[pi]
 		if tb.abandoned {
 			continue
 		}
 		budget := tb.used
-		for budget > 0 && head < len(fifo) {
-			e := &fifo[head]
+		for budget > 0 && head < len(fifoLeft) {
+			v := &rep.Packets[head]
 			// Causality: this TB cannot carry a packet sent after its
 			// transmission (within the sync tolerance plus a slot).
-			if e.sentAt > tb.initialAt+in.SlotDuration+tol {
+			if v.SentAt > tb.initialAt+in.SlotDuration+tol {
 				break
 			}
-			take := e.remaining
+			take := fifoLeft[head]
 			if take > budget {
 				take = budget
 			}
-			e.remaining -= take
+			fifoLeft[head] -= take
 			budget -= take
-			c := carries[e.idx]
-			if c == nil {
-				c = &carry{firstTB: tb}
-				carries[e.idx] = c
+			if headFirst < 0 {
+				headFirst = int32(pi)
 			}
-			c.lastTB = tb
-			v := &rep.Packets[e.idx]
-			v.TBIDs = append(v.TBIDs, tb.id)
-			if e.remaining == 0 {
+			headLast = int32(pi)
+			tbids = append(tbids, tb.id)
+			if fifoLeft[head] == 0 {
+				end := len(tbids)
+				v.TBIDs = tbids[tbStart:end:end]
+				attributePacket(v, procs, headFirst, headLast)
 				head++
+				tbStart = end
+				headFirst, headLast = -1, -1
 			}
 		}
 	}
-
-	for _, e := range fifo {
-		rep.fifoLeft[e.idx] = e.remaining
+	if headFirst >= 0 {
+		// The final head packet drained only partially; it still carries
+		// attribution for the bytes that did ride TBs.
+		end := len(tbids)
+		v := &rep.Packets[head]
+		v.TBIDs = tbids[tbStart:end:end]
+		attributePacket(v, procs, headFirst, headLast)
 	}
+	sc.tbids = tbids
+}
 
-	for idx, c := range carries {
-		v := &rep.Packets[idx]
-		v.GrantKind = c.lastTB.grant
-		v.QueueWait = c.lastTB.initialAt - v.SentAt
-		if v.QueueWait < 0 {
-			v.QueueWait = 0
-		}
-		if c.lastTB.grant == telemetry.GrantRequested {
-			v.BSRWait = v.QueueWait
-		}
-		// HARQ inflation: the completion-determining TB's retransmission
-		// span.
-		slowest := c.firstTB
-		for _, tb := range []*tbProcess{c.firstTB, c.lastTB} {
-			if tb.finalAt > slowest.finalAt {
-				slowest = tb
-			}
-		}
-		v.HARQDelay = slowest.finalAt - slowest.initialAt
+// attributePacket derives the uplink delay attribution from a packet's
+// first and last carrying TB processes.
+func attributePacket(v *PacketView, procs []tbProcess, first, last int32) {
+	f, l := &procs[first], &procs[last]
+	v.GrantKind = l.grant
+	v.QueueWait = l.initialAt - v.SentAt
+	if v.QueueWait < 0 {
+		v.QueueWait = 0
 	}
+	if l.grant == telemetry.GrantRequested {
+		v.BSRWait = v.QueueWait
+	}
+	// HARQ inflation: the completion-determining TB's retransmission
+	// span.
+	slowest := f
+	if l.finalAt > f.finalAt {
+		slowest = l
+	}
+	v.HARQDelay = slowest.finalAt - slowest.initialAt
 }
 
 // reconstructTBs groups attempt records into per-TB HARQ processes,
-// ordered by initial transmission time.
-func reconstructTBs(recs []telemetry.TBRecord) []tbProcess {
-	byID := make(map[uint64]*tbProcess)
-	var order []uint64
+// ordered by initial transmission time. Processes live in one scratch
+// slice indexed by a TBID→position map — no per-process heap allocation.
+// Telemetry normally arrives in transmission order, which makes the
+// first-seen process order already sorted; the stable sort only runs when
+// it is not.
+func (sc *scratch) reconstructTBs(recs []telemetry.TBRecord) []tbProcess {
+	out := sc.procs[:0]
+	if cap(out) < len(recs) {
+		out = make([]tbProcess, 0, len(recs))
+	}
+	if sc.procIdx == nil {
+		sc.procIdx = make(map[uint64]int32, len(recs))
+	} else {
+		clear(sc.procIdx)
+	}
+	idx := sc.procIdx
 	for _, r := range recs {
-		p := byID[r.TBID]
-		if p == nil {
-			p = &tbProcess{id: r.TBID, initialAt: r.At, finalAt: r.At, used: int64(r.UsedBytes), grant: r.Grant}
-			byID[r.TBID] = p
-			order = append(order, r.TBID)
+		j, ok := idx[r.TBID]
+		if !ok {
+			j = int32(len(out))
+			idx[r.TBID] = j
+			out = append(out, tbProcess{id: r.TBID, initialAt: r.At, finalAt: r.At, used: int64(r.UsedBytes), grant: r.Grant})
 		}
+		p := &out[j]
 		if r.At < p.initialAt {
 			p.initialAt = r.At
 		}
@@ -327,10 +421,20 @@ func reconstructTBs(recs []telemetry.TBRecord) []tbProcess {
 			p.abandoned = r.Failed
 		}
 	}
-	out := make([]tbProcess, 0, len(order))
-	for _, id := range order {
-		out = append(out, *byID[id])
+	sc.procs = out
+	if !sortedByInitialAt(out) {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].initialAt < out[j].initialAt })
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].initialAt < out[j].initialAt })
 	return out
+}
+
+// sortedByInitialAt reports whether processes are already in
+// non-decreasing initial-transmission order.
+func sortedByInitialAt(procs []tbProcess) bool {
+	for i := 1; i < len(procs); i++ {
+		if procs[i].initialAt < procs[i-1].initialAt {
+			return false
+		}
+	}
+	return true
 }

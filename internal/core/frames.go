@@ -32,19 +32,28 @@ type FrameView struct {
 	FrameDelay time.Duration
 }
 
-// groupFrames buckets packet views by (SSRC, RTPTime).
-func groupFrames(pkts []PacketView) []FrameView {
-	type key struct {
-		ssrc uint32
-		ts   uint32
+// frameKey identifies one application-layer unit (frame/sample).
+type frameKey struct {
+	ssrc uint32
+	ts   uint32
+}
+
+// groupFrames buckets packet views by (SSRC, RTPTime) into frames,
+// reusing the scratch's index map and the caller's frame slice (the
+// recycled Report.Frames in live mode, nil in batch mode).
+func (sc *scratch) groupFrames(pkts []PacketView, frames []FrameView) []FrameView {
+	if sc.frameIdx == nil {
+		sc.frameIdx = make(map[frameKey]int, len(pkts)/3+1)
+	} else {
+		clear(sc.frameIdx)
 	}
-	idx := make(map[key]int)
-	var frames []FrameView
+	idx := sc.frameIdx
+	frames = frames[:0]
 	for _, v := range pkts {
 		if v.Kind != packet.KindVideo && v.Kind != packet.KindAudio {
 			continue
 		}
-		k := key{v.SSRC, v.RTPTime}
+		k := frameKey{v.SSRC, v.RTPTime}
 		fi, ok := idx[k]
 		if !ok {
 			fi = len(frames)

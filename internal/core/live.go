@@ -16,9 +16,12 @@ import (
 //
 // Internally it re-runs the batch pipeline over a sliding window — the
 // batch correlator is cheap enough that clarity beats an incremental
-// reimplementation — but the emission contract (each packet exactly once,
-// in send order, only when resolvable) is what a live consumer such as a
-// PHY-aware congestion controller needs.
+// reimplementation — but every re-run recycles one persistent working set
+// (report, indexes, FIFO and TBID buffers, trim maps), so steady-state
+// ingest performs no allocation at all with a nil Emit, and only the
+// emitted views' TBID copies otherwise. The emission contract (each
+// packet exactly once, in send order, only when resolvable) is what a
+// live consumer such as a PHY-aware congestion controller needs.
 type LiveCorrelator struct {
 	in Input
 
@@ -26,13 +29,24 @@ type LiveCorrelator struct {
 	// unresolved before being emitted as-is (lost or unmatchable).
 	FlushAfter time.Duration
 
-	// Emit receives resolved packet views in send order.
+	// Emit receives resolved packet views in send order. Views are
+	// stable: their TBIDs are copied out of the correlator's recycled
+	// buffers, so consumers may retain them indefinitely.
 	Emit func(PacketView)
 
 	sender  []packet.Record
 	core    []packet.Record
 	tbs     []telemetry.TBRecord
 	emitted int // prefix of send-ordered packets already emitted
+
+	// sc is the recycled correlation working set; the trim maps below
+	// are likewise cleared and reused so mid-stream trims stay
+	// allocation-free once warm.
+	sc        scratch
+	trimKeys  map[pktKey]bool
+	trimTBs   map[uint64]bool
+	tbInitial map[uint64]time.Duration
+	tbLatest  map[uint64]time.Duration
 }
 
 // NewLive creates a live correlator with the same configuration fields as
@@ -44,6 +58,7 @@ func NewLive(in Input, emit func(PacketView)) *LiveCorrelator {
 		in:         in,
 		FlushAfter: 500 * time.Millisecond,
 		Emit:       emit,
+		sc:         scratch{reuse: true},
 	}
 }
 
@@ -75,15 +90,12 @@ func (lc *LiveCorrelator) Advance(now time.Duration) {
 	in.Sender = lc.sender
 	in.Core = lc.core
 	in.TBs = lc.tbs
-	rep := Correlate(in)
+	rep := lc.sc.correlate(in)
 
 	// Emit, in send order, every not-yet-emitted packet that is either
 	// fully resolved (seen at the core with TBs matched) or past the
 	// flush horizon.
-	senderOff := time.Duration(0)
-	if lc.in.Offsets != nil {
-		senderOff = lc.in.Offsets[packet.PointSender]
-	}
+	senderOff := in.offset(packet.PointSender)
 	for lc.emitted < len(lc.sender) {
 		r := lc.sender[lc.emitted]
 		v, ok := rep.Packet(r.Flow, r.Seq, r.Kind)
@@ -96,6 +108,11 @@ func (lc *LiveCorrelator) Advance(now time.Duration) {
 			break
 		}
 		if lc.Emit != nil {
+			if len(v.TBIDs) > 0 {
+				// Detach from the recycled TBID backing: emitted views
+				// outlive the next Advance.
+				v.TBIDs = append([]uint64(nil), v.TBIDs...)
+			}
 			lc.Emit(v)
 		}
 		lc.emitted++
@@ -103,6 +120,16 @@ func (lc *LiveCorrelator) Advance(now time.Duration) {
 
 	// Trim state that can no longer influence unemitted packets.
 	lc.trim(horizon, rep, senderOff)
+}
+
+// viewTBs returns the correlated TB set of the i-th buffered sender
+// record.
+func (lc *LiveCorrelator) viewTBs(rep *Report, i int) []uint64 {
+	r := lc.sender[i]
+	if idx, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
+		return rep.Packets[idx].TBIDs
+	}
+	return nil
 }
 
 // trim discards consumed state so memory — and with it each Advance's
@@ -142,46 +169,41 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 		// full-drain reset above bounds that regime.
 		return
 	}
-	viewIdx := func(i int) (int, bool) {
-		r := lc.sender[i]
-		idx, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
-		return idx, ok
-	}
-	tbsOf := func(i int) []uint64 {
-		if idx, ok := viewIdx(i); ok {
-			return rep.Packets[idx].TBIDs
-		}
-		return nil
-	}
 	cut := lc.emitted
 	for i := 0; i < cut; i++ {
-		idx, ok := viewIdx(i)
+		r := lc.sender[i]
+		idx, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
 		if !ok || rep.fifoLeft[idx] != 0 {
 			cut = i
 			break
 		}
 	}
-	for cut > 0 && sharesTB(tbsOf(cut-1), tbsOf(cut)) {
+	for cut > 0 && sharesTB(lc.viewTBs(rep, cut-1), lc.viewTBs(rep, cut)) {
 		cut--
 	}
 	if cut == 0 {
 		return
 	}
 
-	trimmedKeys := make(map[pktKey]bool, cut)
-	trimmedTBs := make(map[uint64]bool)
+	if lc.trimKeys == nil {
+		lc.trimKeys = make(map[pktKey]bool, cut)
+		lc.trimTBs = make(map[uint64]bool)
+	} else {
+		clear(lc.trimKeys)
+		clear(lc.trimTBs)
+	}
 	for i := 0; i < cut; i++ {
 		r := lc.sender[i]
-		trimmedKeys[pktKey{r.Flow, r.Seq, r.Kind}] = true
-		for _, id := range tbsOf(i) {
-			trimmedTBs[id] = true
+		lc.trimKeys[pktKey{r.Flow, r.Seq, r.Kind}] = true
+		for _, id := range lc.viewTBs(rep, i) {
+			lc.trimTBs[id] = true
 		}
 	}
 	// Guard: a TB also carried by a kept packet stays (the boundary rule
 	// makes this unreachable, but the invariant is cheap to enforce).
 	for i := cut; i < len(lc.sender); i++ {
-		for _, id := range tbsOf(i) {
-			delete(trimmedTBs, id)
+		for _, id := range lc.viewTBs(rep, i) {
+			delete(lc.trimTBs, id)
 		}
 	}
 
@@ -195,14 +217,19 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 	firstKeptSent := lc.sender[cut].LocalTime - senderOff
 	causalLimit := firstKeptSent - lc.in.SlotDuration - tol
 	settleLimit := horizon - time.Second
-	initialAt := make(map[uint64]time.Duration)
-	latestAt := make(map[uint64]time.Duration)
+	if lc.tbInitial == nil {
+		lc.tbInitial = make(map[uint64]time.Duration)
+		lc.tbLatest = make(map[uint64]time.Duration)
+	} else {
+		clear(lc.tbInitial)
+		clear(lc.tbLatest)
+	}
 	for _, tb := range lc.tbs {
-		if t, ok := initialAt[tb.TBID]; !ok || tb.At < t {
-			initialAt[tb.TBID] = tb.At
+		if t, ok := lc.tbInitial[tb.TBID]; !ok || tb.At < t {
+			lc.tbInitial[tb.TBID] = tb.At
 		}
-		if tb.At > latestAt[tb.TBID] {
-			latestAt[tb.TBID] = tb.At
+		if tb.At > lc.tbLatest[tb.TBID] {
+			lc.tbLatest[tb.TBID] = tb.At
 		}
 	}
 
@@ -210,14 +237,14 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 	lc.emitted -= cut
 	keptCore := lc.core[:0]
 	for _, r := range lc.core {
-		if !trimmedKeys[pktKey{r.Flow, r.Seq, r.Kind}] {
+		if !lc.trimKeys[pktKey{r.Flow, r.Seq, r.Kind}] {
 			keptCore = append(keptCore, r)
 		}
 	}
 	lc.core = keptCore
 	keptTBs := lc.tbs[:0]
 	for _, tb := range lc.tbs {
-		if trimmedTBs[tb.TBID] || (initialAt[tb.TBID] < causalLimit && latestAt[tb.TBID] < settleLimit) {
+		if lc.trimTBs[tb.TBID] || (lc.tbInitial[tb.TBID] < causalLimit && lc.tbLatest[tb.TBID] < settleLimit) {
 			continue
 		}
 		keptTBs = append(keptTBs, tb)

@@ -1,0 +1,275 @@
+package core
+
+// correlateMapJoinRef is the pre-overhaul correlator, preserved verbatim
+// as the reference implementation for the differential test: per-record
+// map joins, a map[int]*carry of heap-allocated carry pointers, per-packet
+// TBIDs allocations and an unconditional SortedByTime copy. The indexed
+// hot path in correlate.go must produce identical reports on any input
+// whose sender capture has unique (flow, seq, kind) keys.
+
+import (
+	"sort"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/telemetry"
+)
+
+func correlateMapJoinRef(in Input) *Report {
+	rep := &Report{byKey: make(map[pktKey]int)}
+	off := func(p packet.Point) time.Duration {
+		if in.Offsets == nil {
+			return 0
+		}
+		return in.Offsets[p]
+	}
+
+	var flowOK map[uint32]bool
+	if len(in.Flows) > 0 {
+		flowOK = make(map[uint32]bool, len(in.Flows))
+		for _, f := range in.Flows {
+			flowOK[f] = true
+		}
+	}
+	keep := func(flow uint32) bool { return flowOK == nil || flowOK[flow] }
+
+	// 1. Build per-packet views from the sender capture (the session's
+	//    send order), correcting clocks.
+	senderRecs := packet.SortedByTime(in.Sender)
+	if flowOK != nil {
+		kept := senderRecs[:0]
+		for _, r := range senderRecs {
+			if keep(r.Flow) {
+				kept = append(kept, r)
+			}
+		}
+		senderRecs = kept
+	}
+	for _, r := range senderRecs {
+		v := PacketView{
+			Flow: r.Flow, Seq: r.Seq, Kind: r.Kind,
+			SentAt:  r.LocalTime - off(packet.PointSender),
+			SSRC:    r.SSRC,
+			RTPTime: r.RTPTime,
+			Marker:  r.Marker,
+		}
+		rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}] = len(rep.Packets)
+		rep.Packets = append(rep.Packets, v)
+	}
+
+	// 2. Join the core and receiver captures.
+	for _, r := range in.Core {
+		if !keep(r.Flow) {
+			continue
+		}
+		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
+			v := &rep.Packets[i]
+			v.CoreAt = r.LocalTime - off(packet.PointCore)
+			v.SeenCore = true
+			v.ULDelay = v.CoreAt - v.SentAt
+		}
+	}
+	for _, r := range in.Receiver {
+		if !keep(r.Flow) {
+			continue
+		}
+		if i, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
+			v := &rep.Packets[i]
+			v.ReceiverAt = r.LocalTime - off(packet.PointReceiver)
+			v.SeenRecv = true
+			if v.SeenCore {
+				v.WANDelay = v.ReceiverAt - v.CoreAt
+				if in.ProbeOWDBaseline > 0 {
+					v.SFUDelay = v.WANDelay - in.ProbeOWDBaseline
+					if v.SFUDelay < 0 {
+						v.SFUDelay = 0
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Match packets to transport blocks and attribute uplink delay.
+	matchTBsMapRef(rep, in, senderRecs)
+
+	// 4. Group packets into frames/samples and compute delay spreads.
+	rep.Frames = groupFramesRef(rep.Packets)
+
+	return rep
+}
+
+func matchTBsMapRef(rep *Report, in Input, senderRecs []packet.Record) {
+	if len(in.TBs) == 0 {
+		return
+	}
+	procs := reconstructTBsMapRef(in.TBs)
+	tol := in.MatchTolerance
+	if tol == 0 {
+		tol = 5 * time.Millisecond
+	}
+
+	type fifoEntry struct {
+		idx       int // index into rep.Packets
+		remaining int64
+		sentAt    time.Duration
+	}
+	var fifo []fifoEntry
+	for _, r := range senderRecs {
+		i := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
+		fifo = append(fifo, fifoEntry{idx: i, remaining: int64(r.Size), sentAt: rep.Packets[i].SentAt})
+	}
+	rep.fifoLeft = make([]int64, len(rep.Packets))
+
+	type carry struct {
+		firstTB, lastTB *tbProcess
+	}
+	carries := make(map[int]*carry)
+
+	head := 0
+	for pi := range procs {
+		tb := &procs[pi]
+		if tb.abandoned {
+			continue
+		}
+		budget := tb.used
+		for budget > 0 && head < len(fifo) {
+			e := &fifo[head]
+			// Causality: this TB cannot carry a packet sent after its
+			// transmission (within the sync tolerance plus a slot).
+			if e.sentAt > tb.initialAt+in.SlotDuration+tol {
+				break
+			}
+			take := e.remaining
+			if take > budget {
+				take = budget
+			}
+			e.remaining -= take
+			budget -= take
+			c := carries[e.idx]
+			if c == nil {
+				c = &carry{firstTB: tb}
+				carries[e.idx] = c
+			}
+			c.lastTB = tb
+			v := &rep.Packets[e.idx]
+			v.TBIDs = append(v.TBIDs, tb.id)
+			if e.remaining == 0 {
+				head++
+			}
+		}
+	}
+
+	for _, e := range fifo {
+		rep.fifoLeft[e.idx] = e.remaining
+	}
+
+	for idx, c := range carries {
+		v := &rep.Packets[idx]
+		v.GrantKind = c.lastTB.grant
+		v.QueueWait = c.lastTB.initialAt - v.SentAt
+		if v.QueueWait < 0 {
+			v.QueueWait = 0
+		}
+		if c.lastTB.grant == telemetry.GrantRequested {
+			v.BSRWait = v.QueueWait
+		}
+		// HARQ inflation: the completion-determining TB's retransmission
+		// span.
+		slowest := c.firstTB
+		for _, tb := range []*tbProcess{c.firstTB, c.lastTB} {
+			if tb.finalAt > slowest.finalAt {
+				slowest = tb
+			}
+		}
+		v.HARQDelay = slowest.finalAt - slowest.initialAt
+	}
+}
+
+func reconstructTBsMapRef(recs []telemetry.TBRecord) []tbProcess {
+	byID := make(map[uint64]*tbProcess)
+	var order []uint64
+	for _, r := range recs {
+		p := byID[r.TBID]
+		if p == nil {
+			p = &tbProcess{id: r.TBID, initialAt: r.At, finalAt: r.At, used: int64(r.UsedBytes), grant: r.Grant}
+			byID[r.TBID] = p
+			order = append(order, r.TBID)
+		}
+		if r.At < p.initialAt {
+			p.initialAt = r.At
+		}
+		if r.At > p.finalAt {
+			p.finalAt = r.At
+		}
+		if r.HARQRound >= p.rounds {
+			p.rounds = r.HARQRound
+			// The process's fate is its latest attempt's: a failed final
+			// attempt means HARQ gave up and the bytes never arrived.
+			p.abandoned = r.Failed
+		}
+	}
+	out := make([]tbProcess, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].initialAt < out[j].initialAt })
+	return out
+}
+
+// groupFramesRef is the pre-overhaul frame grouping (fresh map + slice
+// per call), kept for the differential test.
+func groupFramesRef(pkts []PacketView) []FrameView {
+	type key struct {
+		ssrc uint32
+		ts   uint32
+	}
+	idx := make(map[key]int)
+	var frames []FrameView
+	for _, v := range pkts {
+		if v.Kind != packet.KindVideo && v.Kind != packet.KindAudio {
+			continue
+		}
+		k := key{v.SSRC, v.RTPTime}
+		fi, ok := idx[k]
+		if !ok {
+			fi = len(frames)
+			idx[k] = fi
+			frames = append(frames, FrameView{
+				SSRC: v.SSRC, RTPTime: v.RTPTime, Kind: v.Kind,
+				FirstSent: v.SentAt, LastSent: v.SentAt,
+				FirstCore: v.CoreAt, LastCore: v.CoreAt,
+				SeenCore: v.SeenCore,
+			})
+		}
+		f := &frames[fi]
+		f.Packets++
+		if v.SentAt < f.FirstSent {
+			f.FirstSent = v.SentAt
+		}
+		if v.SentAt > f.LastSent {
+			f.LastSent = v.SentAt
+		}
+		if v.SeenCore {
+			if !f.SeenCore {
+				f.FirstCore, f.LastCore = v.CoreAt, v.CoreAt
+				f.SeenCore = true
+			} else {
+				if v.CoreAt < f.FirstCore {
+					f.FirstCore = v.CoreAt
+				}
+				if v.CoreAt > f.LastCore {
+					f.LastCore = v.CoreAt
+				}
+			}
+		}
+	}
+	for i := range frames {
+		f := &frames[i]
+		f.SpreadSender = f.LastSent - f.FirstSent
+		if f.SeenCore {
+			f.SpreadCore = f.LastCore - f.FirstCore
+			f.FrameDelay = f.LastCore - f.FirstSent
+		}
+	}
+	return frames
+}

@@ -134,6 +134,19 @@ func SortedByTime(records []Record) []Record {
 	return out
 }
 
+// IsSortedByTime reports whether records are already in non-decreasing
+// LocalTime order. Capture taps append under a monotone clock, so their
+// record slices normally are — callers use this to skip the copy+sort
+// SortedByTime would pay.
+func IsSortedByTime(records []Record) bool {
+	for i := 1; i < len(records); i++ {
+		if records[i].LocalTime < records[i-1].LocalTime {
+			return false
+		}
+	}
+	return true
+}
+
 // FilterKind returns the records of a single traffic kind, preserving order.
 func FilterKind(records []Record, k Kind) []Record {
 	var out []Record

@@ -1,0 +1,49 @@
+// Package profiling wires runtime/pprof into the CLI tools: a single
+// Start call handles both the CPU profile (sampled for the life of the
+// run) and the heap profile (snapshot at exit), so every command exposes
+// the same -cpuprofile/-memprofile contract.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling as requested: a non-empty cpuPath starts CPU
+// sampling immediately, a non-empty memPath schedules a heap snapshot.
+// The returned stop function finalizes both files and must be called
+// exactly once, after the workload (typically via defer in main). Either
+// path may be empty; with both empty, Start is a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: creating heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the snapshot reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

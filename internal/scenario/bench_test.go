@@ -1,0 +1,26 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTopologyCorrelate times the correlation stage of a 4-UE
+// topology in isolation: the simulation runs once, then each iteration
+// re-correlates every UE against the shared mid-path captures — the cost
+// RunTopology pays after the event loop drains.
+func BenchmarkTopologyCorrelate(b *testing.B) {
+	top := NewTopology(4)
+	top.Duration = 3 * time.Second
+	bld := runTopologyBuild(top)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.correlate()
+		for _, u := range bld.res.UEs {
+			if len(u.Report.Packets) == 0 {
+				b.Fatal("empty per-UE report")
+			}
+		}
+	}
+}

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"athena/internal/cc"
@@ -20,6 +23,7 @@ import (
 	"athena/internal/ran"
 	"athena/internal/rtp"
 	"athena/internal/sim"
+	"athena/internal/telemetry"
 	"athena/internal/units"
 	"athena/internal/vca"
 	"athena/internal/wifi"
@@ -274,6 +278,15 @@ type ueBuild struct {
 // RunTopology executes a multi-UE testbed and correlates each UE's
 // traces. It is deterministic in Topology alone.
 func RunTopology(top Topology) *TopologyResult {
+	b := runTopologyBuild(top)
+	b.correlate()
+	return b.res
+}
+
+// runTopologyBuild runs the simulation stages of a topology, leaving the
+// correlation stage to the caller (RunTopology, or a benchmark that
+// times it in isolation).
+func runTopologyBuild(top Topology) *build {
 	if len(top.UEs) == 0 {
 		u := DefaultUE()
 		u.Seed = top.Seed
@@ -289,8 +302,7 @@ func RunTopology(top Topology) *TopologyResult {
 	b.start()
 	b.s.RunUntil(top.Duration)
 	b.stop()
-	b.correlate()
-	return b.res
+	return b
 }
 
 // newBuild allocates the simulator, host clocks and controllers — no
@@ -682,10 +694,35 @@ func (b *build) stop() {
 // correlate runs the Athena correlator once per UE: private captures
 // (points ① and ④) plus the shared mid-path captures restricted to the
 // UE's flows, and the cell telemetry restricted to the UE's TBs.
+//
+// The shared mid-path captures and the cell telemetry are partitioned by
+// owning UE in one scan each — records of flows nobody owns (cross
+// traffic) never matched any UE's sender-derived join keys, so dropping
+// them up front cannot change any report — and the per-UE correlations
+// then fan out across GOMAXPROCS workers. Each worker's Correlate is a
+// pure function of its UE's inputs writing only that UE's result, so the
+// output is input-ordered and byte-identical to the serial loop
+// regardless of scheduling.
 func (b *build) correlate() {
 	baseline := probeBaseline(b.prober)
 	multi := len(b.ues) > 1
-	for _, ub := range b.ues {
+
+	// Partition the shared state once instead of N filtered re-scans.
+	ueOfFlow := make(map[uint32]int, 5*len(b.ues))
+	for i, ub := range b.ues {
+		for _, f := range ub.flows.All() {
+			ueOfFlow[f] = i
+		}
+	}
+	coreByUE := partitionByFlow(b.res.CapCore.Records, ueOfFlow, len(b.ues))
+	sfuByUE := partitionByFlow(b.res.CapSFU.Records, ueOfFlow, len(b.ues))
+	var tbsByUE [][]telemetry.TBRecord
+	if b.cell != nil {
+		tbsByUE = partitionTBsByUE(b.cell.Telemetry.Records, len(b.ues))
+	}
+
+	correlateUE := func(i int) {
+		ub := b.ues[i]
 		offsets := map[packet.Point]time.Duration{
 			packet.PointSender:   ub.spec.SenderClockOffset,
 			packet.PointReceiver: ub.spec.ReceiverClockOffset,
@@ -706,8 +743,8 @@ func (b *build) correlate() {
 		}
 		in := core.Input{
 			Sender:           ub.res.CapSender.Records,
-			Core:             b.res.CapCore.Records,
-			SFU:              b.res.CapSFU.Records,
+			Core:             coreByUE[i],
+			SFU:              sfuByUE[i],
 			Receiver:         ub.res.CapReceiver.Records,
 			Offsets:          offsets,
 			SlotDuration:     b.top.RAN.SlotDuration,
@@ -717,9 +754,81 @@ func (b *build) correlate() {
 		if multi {
 			in.Flows = ub.flows.All()
 		}
-		if b.cell != nil {
-			in.TBs = b.cell.Telemetry.ForUE(uint32(ub.idx + 1))
+		if tbsByUE != nil {
+			in.TBs = tbsByUE[i]
 		}
 		ub.res.Report = core.Correlate(in)
 	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(b.ues) {
+		workers = len(b.ues)
+	}
+	if workers <= 1 {
+		for i := range b.ues {
+			correlateUE(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(b.ues) {
+					return
+				}
+				correlateUE(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// partitionByFlow splits a shared capture into per-UE record slices in
+// one pass, preserving capture order within each partition. Records of
+// unowned flows (cross traffic, probes) are dropped — they can never
+// join a UE's sender index.
+func partitionByFlow(records []packet.Record, ueOfFlow map[uint32]int, n int) [][]packet.Record {
+	counts := make([]int, n)
+	for _, r := range records {
+		if i, ok := ueOfFlow[r.Flow]; ok {
+			counts[i]++
+		}
+	}
+	out := make([][]packet.Record, n)
+	for i, c := range counts {
+		out[i] = make([]packet.Record, 0, c)
+	}
+	for _, r := range records {
+		if i, ok := ueOfFlow[r.Flow]; ok {
+			out[i] = append(out[i], r)
+		}
+	}
+	return out
+}
+
+// partitionTBsByUE splits the cell telemetry into per-UE attempt streams
+// in one pass, preserving transmission order; equivalent to calling
+// Telemetry.ForUE for each of the n VCA UEs (ids 1..n).
+func partitionTBsByUE(records []telemetry.TBRecord, n int) [][]telemetry.TBRecord {
+	counts := make([]int, n)
+	for _, r := range records {
+		if i := int(r.UE) - 1; i >= 0 && i < n {
+			counts[i]++
+		}
+	}
+	out := make([][]telemetry.TBRecord, n)
+	for i, c := range counts {
+		out[i] = make([]telemetry.TBRecord, 0, c)
+	}
+	for _, r := range records {
+		if i := int(r.UE) - 1; i >= 0 && i < n {
+			out[i] = append(out[i], r)
+		}
+	}
+	return out
 }
