@@ -7,6 +7,7 @@ import (
 
 	"athena/internal/clock"
 	"athena/internal/core"
+	"athena/internal/experiment"
 	"athena/internal/packet"
 	"athena/internal/ran"
 	"athena/internal/runner"
@@ -16,17 +17,38 @@ import (
 	"athena/internal/units"
 )
 
+func init() {
+	experiment.MustRegister(
+		Experiment{ID: "A1", Family: "ablation", Tags: []string{"ablation", "scheduling", "smoke"},
+			Title:       "Ablation: BSR scheduling delay vs frame delay spread",
+			Description: "A1: sweeping the ~10 ms BSR scheduling delay that roots Fig 5's spread distribution.",
+			Gen:         A1},
+		Experiment{ID: "A2", Family: "ablation", Tags: []string{"ablation", "scheduling"},
+			Title:       "Ablation: proactive grant size — spread vs waste tradeoff",
+			Description: "A2: small proactive grants stretch the spread, large ones waste cell capacity.",
+			Gen:         A2},
+		Experiment{ID: "A3", Family: "ablation", Tags: []string{"ablation", "harq"},
+			Title:       "Ablation: BLER vs uplink delay tail",
+			Description: "A3: each HARQ round adds 10 ms, so the p99 climbs in visible steps with loss.",
+			Gen:         A3},
+		Experiment{ID: "A4", Family: "ablation", Tags: []string{"ablation", "correlator"},
+			Title:       "Ablation: time-sync error vs packet-TB match accuracy",
+			Description: "A4: how good NTP must be for Athena's cross-layer join to hold.",
+			Gen:         A4},
+	)
+}
+
 // A1 sweeps the BSR scheduling delay (the ~10 ms of §3.1) and reports the
 // resulting frame-level delay spread — the design constant DESIGN.md
 // calls out as the root of Fig 5's distribution.
 func A1(o Options) *FigureData {
-	fig := newFigure("A1", "Ablation: BSR scheduling delay vs frame delay spread")
+	fig := NewFigure("A1", "Ablation: BSR scheduling delay vs frame delay spread")
 	delays := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond, 20 * time.Millisecond}
 	cfgs := make([]Config, len(delays))
 	for i, sd := range delays {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(30 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(30 * time.Second)
 		cfg.RAN.BLER = 0
 		cfg.RAN.FadeMeanBad = 0
 		cfg.RAN.SchedDelay = sd
@@ -42,21 +64,21 @@ func A1(o Options) *FigureData {
 		pts = append(pts, stats.Point{X: ms(delays[i]), Y: p90})
 		fig.Scalars[fmt.Sprintf("spread_p90_ms@sched=%v", delays[i])] = p90
 	}
-	fig.add("p90 core delay spread vs sched delay (x=ms)", pts)
-	fig.note("spread grows with the BSR scheduling delay: frames wait longer for the requested grant")
+	fig.Add("p90 core delay spread vs sched delay (x=ms)", pts)
+	fig.Note("spread grows with the BSR scheduling delay: frames wait longer for the requested grant")
 	return fig
 }
 
 // A2 sweeps the proactive grant size: small grants stretch the spread,
 // large grants waste capacity (efficiency of proactive TBs drops).
 func A2(o Options) *FigureData {
-	fig := newFigure("A2", "Ablation: proactive grant size — spread vs waste tradeoff")
+	fig := NewFigure("A2", "Ablation: proactive grant size — spread vs waste tradeoff")
 	sizes := []units.ByteCount{800, 1600, 3200, 6000}
 	cfgs := make([]Config, len(sizes))
 	for i, tbs := range sizes {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(30 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(30 * time.Second)
 		cfg.RAN.BLER = 0
 		cfg.RAN.FadeMeanBad = 0
 		cfg.RAN.ProactiveTBS = tbs
@@ -79,22 +101,22 @@ func A2(o Options) *FigureData {
 		fig.Scalars[fmt.Sprintf("spread_p90_ms@tbs=%d", tbs)] = p90
 		fig.Scalars[fmt.Sprintf("proactive_eff@tbs=%d", tbs)] = eff
 	}
-	fig.add("p90 spread ms vs proactive TBS bytes", spreadPts)
-	fig.add("proactive TB efficiency vs TBS bytes", effPts)
-	fig.note("bigger proactive grants shrink the spread but waste more of the cell — the §3.1 tension")
+	fig.Add("p90 spread ms vs proactive TBS bytes", spreadPts)
+	fig.Add("proactive TB efficiency vs TBS bytes", effPts)
+	fig.Note("bigger proactive grants shrink the spread but waste more of the cell — the §3.1 tension")
 	return fig
 }
 
 // A3 sweeps the block error rate and reports the uplink delay tail: each
 // HARQ round adds 10 ms, so the p99 climbs in visible steps.
 func A3(o Options) *FigureData {
-	fig := newFigure("A3", "Ablation: BLER vs uplink delay tail")
+	fig := NewFigure("A3", "Ablation: BLER vs uplink delay tail")
 	blers := []float64{0, 0.05, 0.1, 0.2, 0.3}
 	cfgs := make([]Config, len(blers))
 	for i, bler := range blers {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(30 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(30 * time.Second)
 		cfg.RAN.BLER = bler
 		cfg.RAN.FadeMeanBad = 0
 		cfgs[i] = cfg
@@ -105,8 +127,8 @@ func A3(o Options) *FigureData {
 		pts = append(pts, stats.Point{X: blers[i], Y: p99})
 		fig.Scalars[fmt.Sprintf("ul_p99_ms@bler=%.2f", blers[i])] = p99
 	}
-	fig.add("video uplink p99 ms vs BLER", pts)
-	fig.note("the delay tail climbs with loss in ~10 ms HARQ steps")
+	fig.Add("video uplink p99 ms vs BLER", pts)
+	fig.Note("the delay tail climbs with loss in ~10 ms HARQ steps")
 	return fig
 }
 
@@ -114,11 +136,11 @@ func A3(o Options) *FigureData {
 // matching accuracy — how good NTP needs to be for Athena's cross-layer
 // join to hold.
 func A4(o Options) *FigureData {
-	fig := newFigure("A4", "Ablation: time-sync error vs packet-TB match accuracy")
+	fig := NewFigure("A4", "Ablation: time-sync error vs packet-TB match accuracy")
 
 	// Build one session with ground truth, then correlate repeatedly
 	// under increasing artificial sender-clock error.
-	s := sim.New(o.seed())
+	s := sim.New(o.SeedOrDefault())
 	cfg := ran.Defaults()
 	type arr struct {
 		p  *packet.Packet
@@ -134,7 +156,7 @@ func A4(o Options) *FigureData {
 	var sent []*packet.Packet
 	seq := uint16(0)
 	s.Every(3*time.Millisecond, 33*time.Millisecond, func() {
-		if s.Now() > o.scale(20*time.Second) {
+		if s.Now() > o.Scaled(20*time.Second) {
 			return
 		}
 		for i := 0; i < 4; i++ {
@@ -145,7 +167,7 @@ func A4(o Options) *FigureData {
 			senderTap.Handle(p)
 		}
 	})
-	s.RunUntil(o.scale(20*time.Second) + time.Second)
+	s.RunUntil(o.Scaled(20*time.Second) + time.Second)
 
 	truth := map[uint64][]uint64{}
 	idx := map[uint32]uint64{}
@@ -181,7 +203,7 @@ func A4(o Options) *FigureData {
 		pts = append(pts, stats.Point{X: errMS, Y: accs[i]})
 		fig.Scalars[fmt.Sprintf("match_acc@err=%.0fms", errMS)] = accs[i]
 	}
-	fig.add("packet-TB match accuracy vs sync error ms", pts)
-	fig.note("matching is exact with good sync and degrades once the error exceeds the slot/burst timescale")
+	fig.Add("packet-TB match accuracy vs sync error ms", pts)
+	fig.Note("matching is exact with good sync and degrades once the error exceeds the slot/burst timescale")
 	return fig
 }

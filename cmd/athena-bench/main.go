@@ -1,58 +1,49 @@
-// Command athena-bench regenerates every evaluation artifact of the paper
-// — figures F3–F10, the §5 mitigation studies M1–M4, and the design
-// ablations A1–A4 — and prints each figure's series and headline numbers.
+// Command athena-bench regenerates the paper's evaluation artifacts —
+// figures F3–F10, the §5 mitigation studies M1–M4, the design ablations
+// A1–A4 and the extension studies S1–S4 — by sweeping the experiment
+// registry (internal/experiment). It carries no per-experiment table of
+// its own: every registered experiment, including out-of-tree ones
+// registered by importing packages, is selectable and sweepable.
 //
-//	athena-bench                 # everything, full scale
-//	athena-bench -only F5,F10    # a subset
-//	athena-bench -scale 0.25     # quick pass
-//	athena-bench -parallel 4     # up to 4 drivers concurrently
+//	athena-bench                       # everything, full scale
+//	athena-bench -list                 # show the registry
+//	athena-bench -only F5,f10          # a subset (IDs, case-insensitive)
+//	athena-bench -tags smoke           # by tag (one experiment per family)
+//	athena-bench -regex '^F9'          # by ID/title regex
+//	athena-bench -scale 0.25           # quick pass
+//	athena-bench -parallel 4           # up to 4 experiments concurrently
+//	athena-bench -manifest run.json    # JSON run manifest for regression diffing
 //
-// With -parallel the drivers run concurrently but their output is
-// buffered and printed in table order, so the figure content is
-// byte-identical to a serial run (only the timing lines differ). Within
-// each driver the scenario sweep itself also fans out across the shared
-// runner pool, so even -parallel 1 uses every core.
+// With -parallel the experiments run concurrently but output streams in
+// registry order as each ordered prefix completes, so the figure
+// content is byte-identical to a serial run (only the timing lines
+// differ). Within each experiment the scenario sweep itself also fans
+// out across the shared runner pool, so even -parallel 1 uses every
+// core.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
-	"sync"
 	"time"
 
-	"athena"
+	"athena/internal/experiment"
 	"athena/internal/profiling"
+
+	_ "athena" // register the built-in experiment drivers
 )
 
-type driver struct {
-	id string
-	fn func(athena.Options) *athena.FigureData
-}
-
-var drivers = []driver{
-	{"F3", athena.Fig3},
-	{"F4", athena.Fig4},
-	{"F5", athena.Fig5},
-	{"F6", athena.Fig6},
-	{"F7", athena.Fig7},
-	{"F8", athena.Fig8},
-	{"F9a", athena.Fig9a},
-	{"F9b", athena.Fig9b},
-	{"F10", athena.Fig10},
-	{"M1", athena.M1},
-	{"M2", athena.M2},
-	{"M3", athena.M3},
-	{"M4", athena.M4},
-	{"A1", athena.A1},
-	{"A2", athena.A2},
-	{"A3", athena.A3},
-	{"A4", athena.A4},
-	{"S1", athena.S1PHYContexts},
-	{"S2", athena.S2AccessNetworks},
-	{"S3", athena.S3LearningCC},
-	{"S4", athena.S4AppDiversity},
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -61,12 +52,35 @@ func main() {
 
 	scale := flag.Float64("scale", 1, "duration multiplier for all experiments")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
+	list := flag.Bool("list", false, "list the selected experiments (default: all) and exit")
+	only := flag.String("only", "", "comma-separated experiment IDs, case-insensitive (default: all)")
+	tags := flag.String("tags", "", "comma-separated tags; keep experiments carrying any of them")
+	regex := flag.String("regex", "", "regular expression matched against experiment ID and title")
+	manifest := flag.String("manifest", "", "write a JSON run manifest (options, wall times, content digests) to this file")
 	out := flag.String("out", "", "directory to also write per-figure CSV data into")
-	parallel := flag.Int("parallel", 1, "number of drivers to regenerate concurrently")
+	parallel := flag.Int("parallel", 1, "number of experiments to regenerate concurrently")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	sel, err := experiment.Select(experiment.Selection{
+		IDs:   splitCSV(*only),
+		Tags:  splitCSV(*tags),
+		Regex: *regex,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		for _, e := range sel {
+			fmt.Printf("%-4s %-10s %-32s %s\n", e.ID, e.Family, strings.Join(e.Tags, ","), e.Title)
+		}
+		fmt.Printf("%d experiments registered\n", len(sel))
+		return
+	}
+	if len(sel) == 0 {
+		log.Fatalf("no experiments match the selection; run with -list to see the registry")
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -74,71 +88,33 @@ func main() {
 	}
 	defer stopProf()
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
-	}
-
-	var sel []driver
-	for _, d := range drivers {
-		if len(want) == 0 || want[d.id] {
-			sel = append(sel, d)
-		}
-	}
-
-	o := athena.Options{Seed: *seed, Scale: *scale}
+	opts := experiment.Options{Seed: *seed, Scale: *scale}
 	start := time.Now()
-
-	// Each driver's output is buffered so concurrent drivers cannot
-	// interleave; buffers print in table order. CSV writes happen inside
-	// the worker — every driver saves to distinct files.
-	outputs := make([]string, len(sel))
-	errs := make([]error, len(sel))
-	gen := func(i int) {
-		var b strings.Builder
-		t0 := time.Now()
-		fig := sel[i].fn(o)
-		fmt.Fprint(&b, fig)
-		if *out != "" {
-			paths, err := fig.Save(*out)
-			if err != nil {
-				errs[i] = fmt.Errorf("saving %s: %w", sel[i].id, err)
-				return
+	results := experiment.Sweep(context.Background(), sel, experiment.SweepConfig{
+		Options:  opts,
+		Parallel: *parallel,
+		OutDir:   *out,
+		OnResult: func(_ int, r experiment.RunResult) {
+			if r.Err != nil {
+				return // reported after the sweep
 			}
-			fmt.Fprintf(&b, "  [csv: %s]\n", strings.Join(paths, ", "))
-		}
-		fmt.Fprintf(&b, "  [regenerated in %v]\n\n", time.Since(t0).Round(time.Millisecond))
-		outputs[i] = b.String()
-	}
-	flush := func(i int) {
-		if errs[i] != nil {
-			log.Fatal(errs[i])
-		}
-		fmt.Print(outputs[i])
-	}
-	if *parallel > 1 {
-		sem := make(chan struct{}, *parallel)
-		var wg sync.WaitGroup
-		for i := range sel {
-			sem <- struct{}{}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				gen(i)
-			}(i)
-		}
-		wg.Wait()
-		for i := range sel {
-			flush(i)
-		}
-	} else {
-		for i := range sel { // serial keeps streaming output per driver
-			gen(i)
-			flush(i)
+			fmt.Print(r.Rendered)
+			if len(r.Artifacts) > 0 {
+				fmt.Printf("  [csv: %s]\n", strings.Join(r.Artifacts, ", "))
+			}
+			fmt.Printf("  [regenerated in %v]\n\n", r.Wall.Round(time.Millisecond))
+		},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Experiment.ID, r.Err)
 		}
 	}
-	fmt.Printf("regenerated %d artifacts in %v\n", len(sel), time.Since(start).Round(time.Millisecond))
+	if *manifest != "" {
+		if err := experiment.NewManifest(opts, results).WriteFile(*manifest); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote manifest %s (%d experiments)\n", *manifest, len(results))
+	}
+	fmt.Printf("regenerated %d artifacts in %v\n", len(results), time.Since(start).Round(time.Millisecond))
 }

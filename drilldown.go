@@ -4,10 +4,28 @@ import (
 	"fmt"
 	"time"
 
+	"athena/internal/experiment"
 	"athena/internal/packet"
 	"athena/internal/stats"
 	"athena/internal/telemetry"
 )
+
+func init() {
+	experiment.MustRegister(
+		Experiment{ID: "F9a", Family: "figure", Tags: []string{"figure", "drilldown", "scheduling"},
+			Title:       "Link-layer scheduling introduces frame-level delay spread in 2.5 ms increments",
+			Description: "Fig 9a: a 120 ms window lining packets up against their TBs; over-granted requested TBs arrive unused.",
+			Gen:         Fig9a},
+		Experiment{ID: "F9b", Family: "figure", Tags: []string{"figure", "drilldown", "harq"},
+			Title:       "Link-layer retransmissions inflate packet delay by 10 ms",
+			Description: "Fig 9b: failed TBs retransmit 10 ms later, inflating carried packets in 10 ms multiples.",
+			Gen:         Fig9b},
+		Experiment{ID: "F10", Family: "figure", Tags: []string{"figure", "gcc"},
+			Title:       "GCC on an idle private 5G cell detects phantom network overuse",
+			Description: "Fig 10: the filtered delay gradient trips the adaptive threshold on a never-congested cell.",
+			Gen:         Fig10},
+	)
+}
 
 // Fig9a regenerates the scheduling drill-down of Fig 9a: a ~120 ms window
 // of an idle cell, listing each packet's send/core-arrival times (the
@@ -16,14 +34,14 @@ import (
 // requested TBs arrive over-granted (unused).
 func Fig9a(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
+	cfg.Seed = o.SeedOrDefault()
 	cfg.Duration = 10 * time.Second
 	// A clean window: no fading so the scheduling mechanics stand alone.
 	cfg.RAN.BLER = 0
 	cfg.RAN.FadeMeanBad = 0
 	res := Run(cfg)
 
-	fig := newFigure("F9a", "Link-layer scheduling introduces frame-level delay spread in 2.5 ms increments")
+	fig := NewFigure("F9a", "Link-layer scheduling introduces frame-level delay spread in 2.5 ms increments")
 	from, to := 5*time.Second, 5*time.Second+120*time.Millisecond
 	drilldown(fig, res, from, to)
 
@@ -37,7 +55,7 @@ func Fig9a(o Options) *FigureData {
 	w := telemetry.WasteOf(requested)
 	fig.Scalars["requested_tb_efficiency"] = w.Efficiency()
 	fig.Scalars["unused_requested_tbs"] = float64(w.EmptyTBs)
-	fig.note("requested TBs arrive ~10 ms after the BSR; proactive TBs drained the buffer meanwhile, so %d requested TBs carried nothing", w.EmptyTBs)
+	fig.Note("requested TBs arrive ~10 ms after the BSR; proactive TBs drained the buffer meanwhile, so %d requested TBs carried nothing", w.EmptyTBs)
 	return fig
 }
 
@@ -46,13 +64,13 @@ func Fig9a(o Options) *FigureData {
 // delay of the packets they carry by 10 ms multiples.
 func Fig9b(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
+	cfg.Seed = o.SeedOrDefault()
 	cfg.Duration = 10 * time.Second
 	cfg.RAN.BLER = 0.25 // high-interference episode
 	cfg.RAN.FadeMeanBad = 0
 	res := Run(cfg)
 
-	fig := newFigure("F9b", "Link-layer retransmissions inflate packet delay by 10 ms")
+	fig := NewFigure("F9b", "Link-layer retransmissions inflate packet delay by 10 ms")
 	from, to := 5*time.Second, 5*time.Second+160*time.Millisecond
 	drilldown(fig, res, from, to)
 
@@ -74,7 +92,7 @@ func Fig9b(o Options) *FigureData {
 		}
 	}
 	fig.Scalars["empty_tb_retransmissions"] = float64(retxEmpty)
-	fig.note("the base station also mandates retransmission of empty TBs (%d observed), wasting bandwidth", retxEmpty)
+	fig.Note("the base station also mandates retransmission of empty TBs (%d observed), wasting bandwidth", retxEmpty)
 	return fig
 }
 
@@ -88,7 +106,7 @@ func drilldown(fig *FigureData, res *Result, from, to time.Duration) {
 		if v.Kind != packet.KindVideo && v.Kind != packet.KindAudio {
 			continue
 		}
-		fig.note("pkt %-5s seq=%-5d sent=%7.2fms core=%7.2fms owd=%6.2fms tbs=%v grant=%v harq=+%.0fms",
+		fig.Note("pkt %-5s seq=%-5d sent=%7.2fms core=%7.2fms owd=%6.2fms tbs=%v grant=%v harq=+%.0fms",
 			v.Kind, v.Seq,
 			ms(v.SentAt-from), ms(v.CoreAt-from), ms(v.ULDelay),
 			v.TBIDs, v.GrantKind, ms(v.HARQDelay))
@@ -108,7 +126,7 @@ func drilldown(fig *FigureData, res *Result, from, to time.Duration) {
 		if tb.IsRetx() {
 			tag += fmt.Sprintf(" RTX#%d", tb.HARQRound)
 		}
-		fig.note("tb  %-9s id=%-5d at=%7.2fms tbs=%5d used=%5d %s%s",
+		fig.Note("tb  %-9s id=%-5d at=%7.2fms tbs=%5d used=%5d %s%s",
 			tb.Grant, tb.TBID, ms(tb.At-from), int64(tb.TBS), int64(tb.UsedBytes), state, tag)
 	}
 }
@@ -122,12 +140,12 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // though the network is never congested.
 func Fig10(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
-	cfg.Duration = o.scale(2 * time.Minute)
+	cfg.Seed = o.SeedOrDefault()
+	cfg.Duration = o.Scaled(2 * time.Minute)
 	cfg.CaptureGCC = true
 	res := Run(cfg)
 
-	fig := newFigure("F10", "GCC on an idle private 5G cell detects phantom network overuse")
+	fig := NewFigure("F10", "GCC on an idle private 5G cell detects phantom network overuse")
 	var trend, thrU, thrL, over []stats.Point
 	for _, tp := range res.GCC.Trace {
 		x := float64(tp.PacketIndex)
@@ -138,12 +156,12 @@ func Fig10(o Options) *FigureData {
 			over = append(over, stats.Point{X: x, Y: tp.Trend})
 		}
 	}
-	fig.add("filtered delay gradient", trend)
-	fig.add("threshold (+)", thrU)
-	fig.add("threshold (-)", thrL)
-	fig.add("overuse detections", over)
+	fig.Add("filtered delay gradient", trend)
+	fig.Add("threshold (+)", thrU)
+	fig.Add("threshold (-)", thrL)
+	fig.Add("overuse detections", over)
 	fig.Scalars["overuse_detections"] = float64(res.GCC.OveruseCount)
 	fig.Scalars["packets_traced"] = float64(len(res.GCC.Trace))
-	fig.note("%d overuse detections on an idle, never-congested cell — phantom congestion misleads GCC", res.GCC.OveruseCount)
+	fig.Note("%d overuse detections on an idle, never-congested cell — phantom congestion misleads GCC", res.GCC.OveruseCount)
 	return fig
 }

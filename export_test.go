@@ -11,9 +11,9 @@ import (
 )
 
 func sampleFig() *FigureData {
-	fig := newFigure("T1", "test figure")
-	fig.add("line-a", []stats.Point{{X: 1, Y: 2}, {X: 3, Y: 4}})
-	fig.add("line-b", []stats.Point{{X: 5, Y: 6}})
+	fig := NewFigure("T1", "test figure")
+	fig.Add("line-a", []stats.Point{{X: 1, Y: 2}, {X: 3, Y: 4}})
+	fig.Add("line-b", []stats.Point{{X: 5, Y: 6}})
 	fig.Scalars["zeta"] = 1.5
 	fig.Scalars["alpha"] = 0.25
 	return fig
@@ -47,6 +47,44 @@ func TestWriteScalarsCSVSorted(t *testing.T) {
 	}
 	if lines[1] != "alpha,0.25" || lines[2] != "zeta,1.5" {
 		t.Fatalf("not sorted: %v", lines)
+	}
+}
+
+// Save must return the same path list in the same order on every call
+// and write the same bytes, so manifests embedding artifact paths and
+// digests diff cleanly across runs.
+func TestSavePathsDeterministic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	first, err := sampleFig().Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := map[string][]byte{}
+	for _, p := range first {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content[p] = b
+	}
+	second, err := sampleFig().Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("path counts differ: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("path order changed: %v vs %v", first, second)
+		}
+		b, err := os.ReadFile(second[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(content[first[i]], b) {
+			t.Fatalf("%s bytes changed between saves", first[i])
+		}
 	}
 }
 

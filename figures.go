@@ -1,11 +1,9 @@
 package athena
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"time"
 
+	"athena/internal/experiment"
 	"athena/internal/packet"
 	"athena/internal/ran"
 	"athena/internal/rtp"
@@ -14,78 +12,33 @@ import (
 	"athena/internal/units"
 )
 
-// Series is one named line of a figure.
-type Series struct {
-	Name   string
-	Points []stats.Point
-}
-
-// FigureData is the plot-ready output of a figure driver: the same lines
-// the paper's figure draws, plus free-form notes (takeaways, drill-down
-// rows) and scalar metrics.
-type FigureData struct {
-	ID      string
-	Title   string
-	Series  []Series
-	Notes   []string
-	Scalars map[string]float64
-}
-
-func newFigure(id, title string) *FigureData {
-	return &FigureData{ID: id, Title: title, Scalars: map[string]float64{}}
-}
-
-func (f *FigureData) add(name string, pts []stats.Point) {
-	f.Series = append(f.Series, Series{Name: name, Points: pts})
-}
-
-func (f *FigureData) note(format string, args ...any) {
-	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
-}
-
-// String renders the figure data as text: scalars (sorted by name, so
-// serial and parallel regeneration emit identical bytes), series
-// (downsampled), and notes.
-func (f *FigureData) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
-	keys := make([]string, 0, len(f.Scalars))
-	for k := range f.Scalars {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "  %s = %.3f\n", k, f.Scalars[k])
-	}
-	for _, s := range f.Series {
-		b.WriteString(stats.FormatPoints(s.Name, stats.Downsample(s.Points, 24)))
-	}
-	for _, n := range f.Notes {
-		fmt.Fprintf(&b, "  # %s\n", n)
-	}
-	return b.String()
-}
-
-// Options tunes figure regeneration. Scale multiplies the (already
-// shortened) default durations; 1.0 gives runs of 1–4 simulated minutes.
-type Options struct {
-	Seed  int64
-	Scale float64
-}
-
-func (o Options) scale(d time.Duration) time.Duration {
-	s := o.Scale
-	if s <= 0 {
-		s = 1
-	}
-	return time.Duration(float64(d) * s)
-}
-
-func (o Options) seed() int64 {
-	if o.Seed == 0 {
-		return 1
-	}
-	return o.Seed
+func init() {
+	experiment.MustRegister(
+		Experiment{ID: "F3", Family: "figure", Tags: []string{"figure", "delay", "probe", "smoke"},
+			Title:       "One-Way Delay in ICMP and Zoom RTP Media Traffic",
+			Description: "Fig 3: the 5G uplink dominates jitter; probes, WAN and the downlink stay low and stable.",
+			Gen:         Fig3},
+		Experiment{ID: "F4", Family: "figure", Tags: []string{"figure", "delay", "media"},
+			Title:       "Zoom audio experiences lower delay than video (RAN delay CDF)",
+			Description: "Fig 4: audio's single small packets beat video's multi-packet frames through the RAN.",
+			Gen:         Fig4},
+		Experiment{ID: "F5", Family: "figure", Tags: []string{"figure", "delay", "scheduling"},
+			Title:       "Delay spread introduced in the RAN uplink",
+			Description: "Fig 5: core-side delay spread steps on the 2.5 ms UL-slot grid.",
+			Gen:         Fig5},
+		Experiment{ID: "F6", Family: "figure", Tags: []string{"figure", "schematic"},
+			Title:       "5G frame structure: DL/UL switching and BSR-based uplink transmission",
+			Description: "Fig 6: the TDD frame structure and BSR/grant timeline, rendered from live cell config.",
+			Gen:         Fig6},
+		Experiment{ID: "F7", Family: "figure", Tags: []string{"figure", "qoe"},
+			Title:       "5G degradation: QoE vs wired network with equal emulated capacity",
+			Description: "Fig 7: the same call loses on bitrate, jitter, frame rate and SSIM versus an equal-capacity wired link.",
+			Gen:         Fig7},
+		Experiment{ID: "F8", Family: "figure", Tags: []string{"figure", "adaptation", "media"},
+			Title:       "Zoom adaptation: frame-rate reaction to delay and jitter",
+			Description: "Fig 8: a >1 s delay episode forces the 14 fps SVC set; a jitter episode causes transient skipping.",
+			Gen:         Fig8},
+	)
 }
 
 // cdfPoints renders a sample set as CDF curve points.
@@ -100,8 +53,8 @@ func cdfPoints(xs []float64, n int) []stats.Point {
 // and the downstream segment stay low and stable.
 func Fig3(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
-	cfg.Duration = o.scale(2 * time.Minute)
+	cfg.Seed = o.SeedOrDefault()
+	cfg.Duration = o.Scaled(2 * time.Minute)
 	cfg.TwoParty = true // the far party's stream exercises the downlink
 	cfg.CrossUEs = 6
 	q := cfg.Duration / 4
@@ -113,7 +66,7 @@ func Fig3(o Options) *FigureData {
 	}
 	res := Run(cfg)
 
-	fig := newFigure("F3", "One-Way Delay in ICMP and Zoom RTP Media Traffic")
+	fig := NewFigure("F3", "One-Way Delay in ICMP and Zoom RTP Media Traffic")
 	up := stats.NewSeries("rtp-1-2")
 	down := stats.NewSeries("rtp-2-3*-4")
 	for _, v := range res.Report.Packets {
@@ -131,9 +84,9 @@ func Fig3(o Options) *FigureData {
 	for _, r := range res.Prober.Results {
 		icmp.Add(r.SentAt, float64(r.OWD())/float64(time.Millisecond))
 	}
-	fig.add("RTP 1-2 (uplink) OWD ms", up.Bin(time.Second, stats.Mean))
-	fig.add("RTP 2-3*-4 OWD ms", down.Bin(time.Second, stats.Mean))
-	fig.add("ICMP 2-3-1 OWD ms", icmp.Bin(time.Second, stats.Mean))
+	fig.Add("RTP 1-2 (uplink) OWD ms", up.Bin(time.Second, stats.Mean))
+	fig.Add("RTP 2-3*-4 OWD ms", down.Bin(time.Second, stats.Mean))
+	fig.Add("ICMP 2-3-1 OWD ms", icmp.Bin(time.Second, stats.Mean))
 
 	upS := stats.Summarize(up.Values())
 	downS := stats.Summarize(down.Values())
@@ -142,7 +95,7 @@ func Fig3(o Options) *FigureData {
 	fig.Scalars["downstream_p95_ms"] = downS.P95
 	fig.Scalars["icmp_p95_ms"] = icmpS.P95
 	fig.Scalars["uplink_jitter_range_ms"] = upS.P99 - upS.P10
-	fig.note("uplink jitter range (p99-p10) %.1f ms vs downstream %.1f ms vs probes %.1f ms",
+	fig.Note("uplink jitter range (p99-p10) %.1f ms vs downstream %.1f ms vs probes %.1f ms",
 		upS.P99-upS.P10, downS.P99-downS.P10, icmpS.P99-icmpS.P10)
 
 	// Takeaway (c): the 5G RAN *downlink* also provides low and stable
@@ -151,7 +104,7 @@ func Fig3(o Options) *FigureData {
 		dlS := stats.Summarize(res.DLReceiver.VideoOWDMS)
 		fig.Scalars["dl_media_p95_ms"] = dlS.P95
 		fig.Scalars["dl_media_jitter_range_ms"] = dlS.P99 - dlS.P10
-		fig.note("5G downlink media jitter range %.1f ms — no BSR cycle, no grant trickle", dlS.P99-dlS.P10)
+		fig.Note("5G downlink media jitter range %.1f ms — no BSR cycle, no grant trickle", dlS.P99-dlS.P10)
 	}
 	return fig
 }
@@ -161,21 +114,21 @@ func Fig3(o Options) *FigureData {
 // frames absorb the scheduling delay spread.
 func Fig4(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
-	cfg.Duration = o.scale(90 * time.Second)
+	cfg.Seed = o.SeedOrDefault()
+	cfg.Duration = o.Scaled(90 * time.Second)
 	res := Run(cfg)
 
-	fig := newFigure("F4", "Zoom audio experiences lower delay than video (RAN delay CDF)")
+	fig := NewFigure("F4", "Zoom audio experiences lower delay than video (RAN delay CDF)")
 	// The extractors return fresh slices, so each sample set sorts once
 	// in place and serves curve points and every quantile from that sort.
 	audio := stats.NewCDFInPlace(res.Report.ULDelaysMS(packet.KindAudio))
 	video := stats.NewCDFInPlace(res.Report.ULDelaysMS(packet.KindVideo))
-	fig.add("audio CDF (x=ms)", audio.Points(40))
-	fig.add("video CDF (x=ms)", video.Points(40))
+	fig.Add("audio CDF (x=ms)", audio.Points(40))
+	fig.Add("video CDF (x=ms)", video.Points(40))
 	fig.Scalars["audio_p50_ms"] = audio.Quantile(0.5)
 	fig.Scalars["video_p50_ms"] = video.Quantile(0.5)
 	fig.Scalars["audio_p99_ms"] = audio.Quantile(0.99)
-	fig.note("audio median below video median; both share a long tail from fades/retransmissions")
+	fig.Note("audio median below video median; both share a long tail from fades/retransmissions")
 	return fig
 }
 
@@ -184,16 +137,16 @@ func Fig4(o Options) *FigureData {
 // slot period.
 func Fig5(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
-	cfg.Duration = o.scale(90 * time.Second)
+	cfg.Seed = o.SeedOrDefault()
+	cfg.Duration = o.Scaled(90 * time.Second)
 	// The paper computes Fig 5 over a no-cross-traffic period.
 	res := Run(cfg)
 
-	fig := newFigure("F5", "Delay spread introduced in the RAN uplink")
+	fig := NewFigure("F5", "Delay spread introduced in the RAN uplink")
 	sender, coreSp := res.Report.SpreadsMS()
 	coreCDF := stats.NewCDFInPlace(coreSp)
-	fig.add("sender spread CDF (x=ms)", stats.NewCDFInPlace(sender).Points(30))
-	fig.add("5G-core spread CDF (x=ms)", coreCDF.Points(30))
+	fig.Add("sender spread CDF (x=ms)", stats.NewCDFInPlace(sender).Points(30))
+	fig.Add("5G-core spread CDF (x=ms)", coreCDF.Points(30))
 	fig.Scalars["core_spread_p90_ms"] = coreCDF.Quantile(0.9)
 	// Verify the 2.5 ms quantization and report it.
 	quantized := 0
@@ -203,7 +156,7 @@ func Fig5(o Options) *FigureData {
 		}
 	}
 	fig.Scalars["fraction_on_2.5ms_grid"] = float64(quantized) / float64(len(coreSp))
-	fig.note("core-side spreads fall on the 2.5 ms UL-slot grid (%d/%d)", quantized, len(coreSp))
+	fig.Note("core-side spreads fall on the 2.5 ms UL-slot grid (%d/%d)", quantized, len(coreSp))
 	return fig
 }
 
@@ -211,8 +164,8 @@ func Fig5(o Options) *FigureData {
 // paper's schematic, emitted from the live cell configuration).
 func Fig6(o Options) *FigureData {
 	cfg := DefaultConfig()
-	fig := newFigure("F6", "5G frame structure: DL/UL switching and BSR-based uplink transmission")
-	fig.note("%s", cfg.RAN.FrameStructure())
+	fig := NewFigure("F6", "5G frame structure: DL/UL switching and BSR-based uplink transmission")
+	fig.Note("%s", cfg.RAN.FrameStructure())
 	fig.Scalars["ul_period_ms"] = float64(cfg.RAN.ULPeriod()) / float64(time.Millisecond)
 	fig.Scalars["sched_delay_ms"] = float64(cfg.RAN.SchedDelay) / float64(time.Millisecond)
 	fig.Scalars["harq_rtt_ms"] = float64(cfg.RAN.HARQRTT) / float64(time.Millisecond)
@@ -224,8 +177,8 @@ func Fig6(o Options) *FigureData {
 // capacity schedule. 5G should lose on all four metrics.
 func Fig7(o Options) *FigureData {
 	base := DefaultConfig()
-	base.Seed = o.seed()
-	base.Duration = o.scale(2 * time.Minute)
+	base.Seed = o.SeedOrDefault()
+	base.Duration = o.Scaled(2 * time.Minute)
 	base.CrossUEs = 6
 	q := base.Duration / 4
 	base.CrossPhases = []ran.CrossPhase{
@@ -248,7 +201,7 @@ func Fig7(o Options) *FigureData {
 	rs := RunAll([]Config{base, em})
 	g5, emr := rs[0], rs[1]
 
-	fig := newFigure("F7", "5G degradation: QoE vs wired network with equal emulated capacity")
+	fig := NewFigure("F7", "5G degradation: QoE vs wired network with equal emulated capacity")
 	// Rate and fps extractors return fresh slices (in-place CDFs); jitter
 	// and SSIM are fields of the shared memoized Result, so those copy.
 	g5Rate := stats.NewCDFInPlace(g5.Receiver.ReceiveRates())
@@ -259,14 +212,14 @@ func Fig7(o Options) *FigureData {
 	emFPS := stats.NewCDFInPlace(emr.Receiver.Renderer.FrameRates())
 	g5SSIM := stats.NewCDF(g5.Receiver.Renderer.SSIMs)
 	emSSIM := stats.NewCDF(emr.Receiver.Renderer.SSIMs)
-	fig.add("5G receive bitrate CDF (x=kbps)", g5Rate.Points(30))
-	fig.add("emulated receive bitrate CDF (x=kbps)", emRate.Points(30))
-	fig.add("5G frame jitter CDF (x=ms)", g5Jit.Points(30))
-	fig.add("emulated frame jitter CDF (x=ms)", emJit.Points(30))
-	fig.add("5G frame rate CDF (x=fps)", g5FPS.Points(30))
-	fig.add("emulated frame rate CDF (x=fps)", emFPS.Points(30))
-	fig.add("5G SSIM CDF", g5SSIM.Points(30))
-	fig.add("emulated SSIM CDF", emSSIM.Points(30))
+	fig.Add("5G receive bitrate CDF (x=kbps)", g5Rate.Points(30))
+	fig.Add("emulated receive bitrate CDF (x=kbps)", emRate.Points(30))
+	fig.Add("5G frame jitter CDF (x=ms)", g5Jit.Points(30))
+	fig.Add("emulated frame jitter CDF (x=ms)", emJit.Points(30))
+	fig.Add("5G frame rate CDF (x=fps)", g5FPS.Points(30))
+	fig.Add("emulated frame rate CDF (x=fps)", emFPS.Points(30))
+	fig.Add("5G SSIM CDF", g5SSIM.Points(30))
+	fig.Add("emulated SSIM CDF", emSSIM.Points(30))
 
 	fig.Scalars["5g_bitrate_p50_kbps"] = g5Rate.Quantile(0.5)
 	fig.Scalars["em_bitrate_p50_kbps"] = emRate.Quantile(0.5)
@@ -276,7 +229,7 @@ func Fig7(o Options) *FigureData {
 	fig.Scalars["em_fps_p50"] = emFPS.Quantile(0.5)
 	fig.Scalars["5g_ssim_p50"] = g5SSIM.Quantile(0.5)
 	fig.Scalars["em_ssim_p50"] = emSSIM.Quantile(0.5)
-	fig.note("5G delivers lower bitrate, higher media jitter, lower frame rate and lower SSIM than the equal-capacity wired baseline")
+	fig.Note("5G delivers lower bitrate, higher media jitter, lower frame rate and lower SSIM than the equal-capacity wired baseline")
 	return fig
 }
 
@@ -285,25 +238,25 @@ func Fig7(o Options) *FigureData {
 // 14 fps downgrade) and a jitter episode (→ transient ~20 fps skipping).
 func Fig8(o Options) *FigureData {
 	cfg := DefaultConfig()
-	cfg.Seed = o.seed()
-	cfg.Duration = o.scale(3 * time.Minute)
+	cfg.Seed = o.SeedOrDefault()
+	cfg.Duration = o.Scaled(3 * time.Minute)
 	third := cfg.Duration / 6
 	cfg.Spikes = []Spike{{Start: 2 * third, End: 2*third + 8*time.Second, Extra: 1100 * time.Millisecond}}
 	cfg.Jitters = []JitterEpisode{{Start: 4 * third, End: 5 * third, Amp: 130 * time.Millisecond}}
 	res := Run(cfg)
 
-	fig := newFigure("F8", "Zoom adaptation: frame-rate reaction to delay and jitter")
+	fig := NewFigure("F8", "Zoom adaptation: frame-rate reaction to delay and jitter")
 	for _, l := range []rtp.SVCLayer{rtp.LayerBase, rtp.LayerLowFPSEnhancement, rtp.LayerHighFPSEnhancement, rtp.LayerAudio} {
 		if pts := res.Receiver.LayerRateSeries(l); pts != nil {
-			fig.add("bitrate kbps: "+l.String(), pts)
+			fig.Add("bitrate kbps: "+l.String(), pts)
 		}
 	}
-	fig.add("frame rate fps", res.Receiver.Renderer.FrameRateSeries())
-	fig.add("sender OWD ms", res.Sender.OWDSeries.Bin(time.Second, stats.Mean))
-	fig.add("encoder mode fps", res.Sender.ModeSeries.Bin(time.Second, stats.MaxOf))
+	fig.Add("frame rate fps", res.Receiver.Renderer.FrameRateSeries())
+	fig.Add("sender OWD ms", res.Sender.OWDSeries.Bin(time.Second, stats.Mean))
+	fig.Add("encoder mode fps", res.Sender.ModeSeries.Bin(time.Second, stats.MaxOf))
 	fig.Scalars["mode_changes"] = float64(res.Sender.Adapt().ModeChanges())
 	fig.Scalars["skip_events"] = float64(res.Sender.SkipEvents)
-	fig.note("delay episode switches the SVC layer set to 14 fps; jitter episode causes transient frame skipping")
+	fig.Note("delay episode switches the SVC layer set to 14 fps; jitter episode causes transient frame skipping")
 	return fig
 }
 

@@ -10,23 +10,23 @@ import (
 
 func TestOptionsDefaults(t *testing.T) {
 	var o Options
-	if o.seed() != 1 {
-		t.Fatalf("default seed = %d", o.seed())
+	if o.SeedOrDefault() != 1 {
+		t.Fatalf("default seed = %d", o.SeedOrDefault())
 	}
-	if o.scale(time.Minute) != time.Minute {
-		t.Fatalf("zero scale should be identity: %v", o.scale(time.Minute))
+	if o.Scaled(time.Minute) != time.Minute {
+		t.Fatalf("zero scale should be identity: %v", o.Scaled(time.Minute))
 	}
 	o = Options{Seed: 7, Scale: 0.5}
-	if o.seed() != 7 || o.scale(time.Minute) != 30*time.Second {
-		t.Fatalf("options not applied: %d %v", o.seed(), o.scale(time.Minute))
+	if o.SeedOrDefault() != 7 || o.Scaled(time.Minute) != 30*time.Second {
+		t.Fatalf("options not applied: %d %v", o.SeedOrDefault(), o.Scaled(time.Minute))
 	}
 }
 
 func TestFigureDataString(t *testing.T) {
-	fig := newFigure("FX", "a title")
+	fig := NewFigure("FX", "a title")
 	fig.Scalars["alpha"] = 1
-	fig.add("line", []stats.Point{{X: 1, Y: 2}})
-	fig.note("note %d", 42)
+	fig.Add("line", []stats.Point{{X: 1, Y: 2}})
+	fig.Note("note %d", 42)
 	out := fig.String()
 	for _, want := range []string{"== FX: a title ==", "alpha = 1.000", "# line (1 points)", "# note 42"} {
 		if !strings.Contains(out, want) {

@@ -1,4 +1,10 @@
-package athena
+package experiment
+
+// The unified artifact writer: every on-disk form of an experiment's
+// output — tidy series CSV, scalar CSV, and (in manifest.go) the JSON
+// run manifest — is keyed off the figure's registry identity, so the
+// sweep engine, cmd/athena-bench and library callers all write the same
+// files the same way.
 
 import (
 	"encoding/csv"
@@ -11,8 +17,8 @@ import (
 	"strings"
 )
 
-// WriteCSV emits the figure's series as tidy CSV (series,x,y) so the data
-// can be re-plotted with any tool.
+// WriteCSV emits the figure's series as tidy CSV (series,x,y) so the
+// data can be re-plotted with any tool.
 func (f *FigureData) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
@@ -34,8 +40,8 @@ func (f *FigureData) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteScalarsCSV emits the figure's scalar metrics as CSV (metric,value),
-// sorted by metric name for stable diffs.
+// WriteScalarsCSV emits the figure's scalar metrics as CSV
+// (metric,value), sorted by metric name for stable diffs.
 func (f *FigureData) WriteScalarsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"metric", "value"}); err != nil {
@@ -55,8 +61,10 @@ func (f *FigureData) WriteScalarsCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Save writes <dir>/<id>.series.csv and <dir>/<id>.scalars.csv (creating
-// dir) and returns the paths written.
+// Save writes <dir>/<id>.series.csv and <dir>/<id>.scalars.csv
+// (creating dir) and returns the paths written, always in that order —
+// the path list is deterministic so manifests embedding it diff
+// cleanly.
 func (f *FigureData) Save(dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err

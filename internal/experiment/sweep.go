@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"athena/internal/runner"
+)
+
+// SweepConfig tunes a Sweep.
+type SweepConfig struct {
+	// Options is passed to every generator.
+	Options Options
+	// Parallel bounds how many experiments regenerate concurrently;
+	// <= 1 runs them serially. Each experiment's own scenario sweep
+	// still fans out across the shared scenario pool either way.
+	Parallel int
+	// OutDir, when set, saves each figure's CSV artifacts there.
+	OutDir string
+	// OnResult, when set, is called once per executed experiment in
+	// input order, as each ordered prefix completes — the streaming
+	// hook CLIs print from. It must not be called concurrently and is
+	// never called for experiments skipped by cancellation.
+	OnResult func(i int, r RunResult)
+}
+
+// RunResult is one experiment's slot in a sweep, in input order.
+type RunResult struct {
+	Experiment Experiment
+	Figure     *FigureData
+	// Rendered is the figure's text rendering and Digest its SHA-256 —
+	// the bytes manifests diff across revisions.
+	Rendered string
+	Digest   string
+	// Wall is the regeneration wall time (excluded from the digest).
+	Wall time.Duration
+	// Artifacts lists the files saved under SweepConfig.OutDir.
+	Artifacts []string
+	// Err is a save error, or the context error when Skipped.
+	Err error
+	// Skipped marks experiments never started because the context was
+	// cancelled first.
+	Skipped bool
+}
+
+// Sweep executes the experiments through a runner.Pool bounded at
+// cfg.Parallel workers and returns their results in input order,
+// regardless of completion order. Each generator is a pure function of
+// cfg.Options, so the rendered bytes and digests are identical across
+// Parallel values; only wall times differ. The per-experiment pool is
+// separate from the shared scenario pool (runner.Default) the
+// generators submit their scenario sweeps into, so driver-level
+// concurrency cannot starve scenario-level workers.
+//
+// Cancelling ctx skips experiments not yet started; their slots carry
+// Skipped and the context error. Experiments already running complete.
+func Sweep(ctx context.Context, exps []Experiment, cfg SweepConfig) []RunResult {
+	results := make([]RunResult, len(exps))
+	done := make([]bool, len(exps))
+	var mu sync.Mutex
+	frontier := 0
+	finish := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for frontier < len(exps) && done[frontier] {
+			if cfg.OnResult != nil && !results[frontier].Skipped {
+				cfg.OnResult(frontier, results[frontier])
+			}
+			frontier++
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	pool := runner.New(workers)
+	pool.ForEach(ctx, len(exps), func(i int) {
+		r := RunResult{Experiment: exps[i]}
+		if err := ctx.Err(); err != nil {
+			r.Err, r.Skipped = err, true
+			results[i] = r
+			finish(i)
+			return
+		}
+		t0 := time.Now()
+		fig := exps[i].Gen(cfg.Options)
+		r.Figure = fig
+		r.Rendered = fig.String()
+		r.Digest = Digest(r.Rendered)
+		r.Wall = time.Since(t0)
+		if cfg.OutDir != "" {
+			r.Artifacts, r.Err = fig.Save(cfg.OutDir)
+		}
+		results[i] = r
+		finish(i)
+	})
+	// ForEach skips remaining indices entirely once ctx is cancelled;
+	// mark those slots so callers can tell "skipped" from "ran".
+	for i := range results {
+		if !done[i] {
+			results[i] = RunResult{Experiment: exps[i], Err: ctx.Err(), Skipped: true}
+		}
+	}
+	return results
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"athena/internal/stats"
+)
+
+// slowExperiments builds n experiments whose generators spin long
+// enough to overlap under parallelism and record their figure content
+// from (id, options) only.
+func slowExperiments(n int, running *atomic.Int32, peak *atomic.Int32) []Experiment {
+	es := make([]Experiment, n)
+	for i := range es {
+		id := string(rune('A'+i)) + "1"
+		es[i] = Experiment{ID: id, Family: "test", Tags: []string{"test"}, Gen: func(o Options) *FigureData {
+			if running != nil {
+				cur := running.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				defer running.Add(-1)
+			}
+			time.Sleep(5 * time.Millisecond)
+			f := New(id, "t-"+id)
+			f.Scalars["seed"] = float64(o.SeedOrDefault())
+			f.Add("line", []stats.Point{{X: 1, Y: float64(o.SeedOrDefault())}})
+			return f
+		}}
+	}
+	return es
+}
+
+func TestSweepOrderedAndDigestStableAcrossParallel(t *testing.T) {
+	exps := slowExperiments(6, nil, nil)
+	opts := Options{Seed: 9, Scale: 1}
+
+	var streamed []string
+	serial := Sweep(context.Background(), exps, SweepConfig{Options: opts, Parallel: 1,
+		OnResult: func(i int, r RunResult) {
+			if i != len(streamed) {
+				t.Errorf("OnResult out of order: got index %d at position %d", i, len(streamed))
+			}
+			streamed = append(streamed, r.Digest)
+		}})
+	par := Sweep(context.Background(), exps, SweepConfig{Options: opts, Parallel: 4})
+
+	if len(serial) != len(exps) || len(par) != len(exps) || len(streamed) != len(exps) {
+		t.Fatalf("result counts: %d %d %d", len(serial), len(par), len(streamed))
+	}
+	for i := range exps {
+		if serial[i].Experiment.ID != exps[i].ID {
+			t.Fatalf("slot %d holds %s, want input order", i, serial[i].Experiment.ID)
+		}
+		if serial[i].Digest != par[i].Digest {
+			t.Fatalf("%s digest differs across -parallel: %s vs %s",
+				exps[i].ID, serial[i].Digest, par[i].Digest)
+		}
+		if serial[i].Digest != streamed[i] {
+			t.Fatalf("streamed digest %d mismatches returned slice", i)
+		}
+		if serial[i].Digest != Digest(serial[i].Rendered) || serial[i].Rendered == "" {
+			t.Fatalf("%s digest is not the hash of the rendered text", exps[i].ID)
+		}
+		if !strings.Contains(serial[i].Rendered, "seed = 9.000") {
+			t.Fatalf("%s did not render from the sweep options:\n%s", exps[i].ID, serial[i].Rendered)
+		}
+	}
+}
+
+func TestSweepParallelismBounded(t *testing.T) {
+	var running, peak atomic.Int32
+	exps := slowExperiments(8, &running, &peak)
+	Sweep(context.Background(), exps, SweepConfig{Parallel: 3})
+	if p := peak.Load(); p < 2 || p > 3 {
+		t.Fatalf("peak concurrency = %d, want within (1, 3]", p)
+	}
+}
+
+func TestSweepCancellationSkips(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exps := slowExperiments(4, nil, nil)
+	results := Sweep(ctx, exps, SweepConfig{Parallel: 2, OnResult: func(int, RunResult) {
+		t.Error("OnResult fired for a cancelled sweep")
+	}})
+	for i, r := range results {
+		if !r.Skipped || r.Err == nil {
+			t.Fatalf("slot %d not marked skipped: %+v", i, r)
+		}
+		if r.Experiment.ID != exps[i].ID {
+			t.Fatalf("slot %d lost its experiment identity", i)
+		}
+	}
+}
+
+func TestSweepSavesArtifacts(t *testing.T) {
+	exps := slowExperiments(2, nil, nil)
+	dir := t.TempDir()
+	results := Sweep(context.Background(), exps, SweepConfig{OutDir: dir})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if len(r.Artifacts) != 2 {
+			t.Fatalf("%s artifacts = %v", r.Experiment.ID, r.Artifacts)
+		}
+		for _, p := range r.Artifacts {
+			if !strings.HasPrefix(p, dir) || !strings.Contains(p, strings.ToLower(r.Experiment.ID)) {
+				t.Fatalf("artifact path %q not keyed off registry identity", p)
+			}
+		}
+	}
+}

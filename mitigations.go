@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"athena/internal/experiment"
 	"athena/internal/packet"
 	"athena/internal/ran"
 	"athena/internal/scenario"
@@ -11,12 +12,33 @@ import (
 	"athena/internal/units"
 )
 
+func init() {
+	experiment.MustRegister(
+		Experiment{ID: "M1", Family: "mitigation", Tags: []string{"mitigation", "scheduling"},
+			Title:       "App-aware uplink grants cut frame-level delay (§5.2)",
+			Description: "M1: frame-level delay under six grant strategies; app-aware and predictive beat the ½ projection.",
+			Gen:         M1},
+		Experiment{ID: "M2", Family: "mitigation", Tags: []string{"mitigation", "cc", "gcc"},
+			Title:       "PHY-informed GCC removes phantom overuse (§5.3)",
+			Description: "M2: RAN telemetry corrects GCC's arrival times without hiding real congestion.",
+			Gen:         M2},
+		Experiment{ID: "M3", Family: "mitigation", Tags: []string{"mitigation", "cc", "gcc", "smoke"},
+			Title:       "RAN-side delay masking in CC feedback (§5.3)",
+			Description: "M3: the RAN rewrites transport-wide feedback so unmodified GCC stops seeing its delays.",
+			Gen:         M3},
+		Experiment{ID: "M4", Family: "mitigation", Tags: []string{"mitigation", "cc", "ecn"},
+			Title:       "L4S-style ECN accelerate/brake vs RAN-induced delay spikes (§5.3)",
+			Description: "M4: queue-true ECN marking versus delay-based GCC across fade intensities.",
+			Gen:         M4},
+	)
+}
+
 // M1 evaluates §5.2's application-aware RAN scheduling claim ("either
 // approach has the potential to cut the delay inflation experienced by
 // frames in half"): frame-level delay — first packet sent to last packet
 // received at the core — under five grant strategies.
 func M1(o Options) *FigureData {
-	fig := newFigure("M1", "App-aware uplink grants cut frame-level delay (§5.2)")
+	fig := NewFigure("M1", "App-aware uplink grants cut frame-level delay (§5.2)")
 	schedulers := []struct {
 		name  string
 		sched ran.SchedulerKind
@@ -32,8 +54,8 @@ func M1(o Options) *FigureData {
 	cfgs := make([]Config, len(schedulers))
 	for i, s := range schedulers {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(45 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(45 * time.Second)
 		cfg.RAN.BLER = 0
 		cfg.RAN.FadeMeanBad = 0 // isolate scheduling from channel loss
 		cfg.Sched = s.sched
@@ -47,7 +69,7 @@ func M1(o Options) *FigureData {
 		// place: one sort serves the curve and both order statistics.
 		delays := stats.NewCDFInPlace(results[i].Report.FrameDelaysMS())
 		sum := delays.Summary()
-		fig.add("frame delay CDF (x=ms): "+s.name, delays.Points(30))
+		fig.Add("frame delay CDF (x=ms): "+s.name, delays.Points(30))
 		fig.Scalars["mean_ms:"+s.name] = sum.Mean
 		fig.Scalars["p95_ms:"+s.name] = sum.P95
 		if s.name == "proactive+bsr (default)" {
@@ -55,7 +77,7 @@ func M1(o Options) *FigureData {
 		}
 		if s.name == "app-aware" && defaultMean > 0 {
 			fig.Scalars["appaware_over_default"] = sum.Mean / defaultMean
-			fig.note("app-aware mean frame delay is %.0f%% of the default's — at or beyond the paper's 'cut in half'",
+			fig.Note("app-aware mean frame delay is %.0f%% of the default's — at or beyond the paper's 'cut in half'",
 				100*sum.Mean/defaultMean)
 		}
 	}
@@ -67,7 +89,7 @@ func M1(o Options) *FigureData {
 // loaded cell. Metrics: phantom overuse detections, achieved media rate,
 // p95 uplink delay (the mitigation must not hide real congestion).
 func M2(o Options) *FigureData {
-	fig := newFigure("M2", "PHY-informed GCC removes phantom overuse (§5.3)")
+	fig := NewFigure("M2", "PHY-informed GCC removes phantom overuse (§5.3)")
 	cells := []struct {
 		kind   string
 		ctl    scenario.ControllerKind
@@ -82,8 +104,8 @@ func M2(o Options) *FigureData {
 	names := make([]string, len(cells))
 	for i, c := range cells {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(60 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(60 * time.Second)
 		cfg.Controller = c.ctl
 		names[i] = c.kind
 		if c.loaded {
@@ -98,7 +120,7 @@ func M2(o Options) *FigureData {
 		fig.Scalars["rate_kbps:"+names[i]] = res.GCC.TargetRate().Kbits()
 		fig.Scalars["ul_p95_ms:"+names[i]] = res.Report.DelaySummary(packet.KindVideo).P95
 	}
-	fig.note("telemetry-corrected GCC sees fewer phantom overuses idle and sustains rate, while real load still backs it off")
+	fig.Note("telemetry-corrected GCC sees fewer phantom overuses idle and sustains rate, while real load still backs it off")
 	return fig
 }
 
@@ -106,7 +128,7 @@ func M2(o Options) *FigureData {
 // delays by rewriting per-packet arrival times in the transport-wide
 // feedback; the sender runs unmodified GCC.
 func M3(o Options) *FigureData {
-	fig := newFigure("M3", "RAN-side delay masking in CC feedback (§5.3)")
+	fig := NewFigure("M3", "RAN-side delay masking in CC feedback (§5.3)")
 	controllers := []struct {
 		name string
 		kind scenario.ControllerKind
@@ -114,8 +136,8 @@ func M3(o Options) *FigureData {
 	cfgs := make([]Config, len(controllers))
 	for i, c := range controllers {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(60 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(60 * time.Second)
 		cfg.Controller = c.kind
 		cfgs[i] = cfg
 	}
@@ -125,7 +147,7 @@ func M3(o Options) *FigureData {
 		fig.Scalars["rate_kbps:"+name] = res.GCC.TargetRate().Kbits()
 		fig.Scalars["recv_p50_kbps:"+name] = stats.QuantileInPlace(res.Receiver.ReceiveRates(), 0.5)
 	}
-	fig.note("masking inside the network achieves the sender-side mitigation's effect without touching endpoints")
+	fig.Note("masking inside the network achieves the sender-side mitigation's effect without touching endpoints")
 	return fig
 }
 
@@ -135,7 +157,7 @@ func M3(o Options) *FigureData {
 // Swept over fade intensity (the mix of "unpredictable loss" and
 // "predictable delay spikes" the section asks about).
 func M4(o Options) *FigureData {
-	fig := newFigure("M4", "L4S-style ECN accelerate/brake vs RAN-induced delay spikes (§5.3)")
+	fig := NewFigure("M4", "L4S-style ECN accelerate/brake vs RAN-induced delay spikes (§5.3)")
 	fades := []struct {
 		name string
 		bad  time.Duration
@@ -155,8 +177,8 @@ func M4(o Options) *FigureData {
 	for _, f := range fades {
 		for _, c := range controllers {
 			cfg := DefaultConfig()
-			cfg.Seed = o.seed()
-			cfg.Duration = o.scale(60 * time.Second)
+			cfg.Seed = o.SeedOrDefault()
+			cfg.Duration = o.Scaled(60 * time.Second)
 			cfg.Controller = c.kind
 			cfg.ECN = c.ecn
 			cfg.RAN.FadeMeanBad = f.bad
@@ -170,6 +192,6 @@ func M4(o Options) *FigureData {
 		fig.Scalars["ul_p95_ms:"+keys[i]] = res.Report.DelaySummary(packet.KindVideo).P95
 		fig.Scalars["stalls:"+keys[i]] = float64(res.Receiver.Renderer.Stalls)
 	}
-	fig.note("under fades, GCC's delay signal conflates retransmission spikes with congestion and sheds rate; L4S brakes only while a queue actually stands — but retains the §5.3 open question of when that is safe")
+	fig.Note("under fades, GCC's delay signal conflates retransmission spikes with congestion and sheds rate; L4S brakes only while a queue actually stands — but retains the §5.3 open question of when that is safe")
 	return fig
 }

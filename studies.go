@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"athena/internal/apps"
+	"athena/internal/experiment"
 	"athena/internal/netem"
 	"athena/internal/packet"
 	"athena/internal/ran"
@@ -15,6 +16,27 @@ import (
 	"athena/internal/stats"
 	"athena/internal/units"
 )
+
+func init() {
+	experiment.MustRegister(
+		Experiment{ID: "S1", Family: "study", Tags: []string{"study", "phy", "gcc"},
+			Title:       "GCC across physical-layer contexts: duplexing and slice length (§5.1)",
+			Description: "S1: the same GCC call over TDD slice lengths, 5G-FDD and LTE-FDD.",
+			Gen:         S1PHYContexts},
+		Experiment{ID: "S2", Family: "study", Tags: []string{"study", "access", "smoke"},
+			Title:       "One VCA, many access networks: artifact structure differs (§5.1)",
+			Description: "S2: 5G, Wi-Fi, LEO satellite and wired each inject a different artifact signature.",
+			Gen:         S2AccessNetworks},
+		Experiment{ID: "S3", Family: "study", Tags: []string{"study", "cc", "learning"},
+			Title:       "Learning-based CC still sees a clouded view on 5G (§1)",
+			Description: "S3: a PCC-Vivace-style learner reads RAN latency artifacts as utility gradients.",
+			Gen:         S3LearningCC},
+		Experiment{ID: "S4", Family: "study", Tags: []string{"study", "apps"},
+			Title:       "Application classes feel different RAN artifacts (§5.1)",
+			Description: "S4: gaming input pays the grant cycle, bursts pay the spread, bulk upload barely notices.",
+			Gen:         S4AppDiversity},
+	)
+}
 
 // S1 is the §5.1 future-work study the paper commits to: "work toward a
 // GCC simulator that evaluates video-conferencing behavior in various
@@ -29,7 +51,7 @@ import (
 // context: delay-spread quantum, uplink delay quantiles, GCC phantom
 // overuse, and achieved rate.
 func S1PHYContexts(o Options) *FigureData {
-	fig := newFigure("S1", "GCC across physical-layer contexts: duplexing and slice length (§5.1)")
+	fig := NewFigure("S1", "GCC across physical-layer contexts: duplexing and slice length (§5.1)")
 	contexts := []struct {
 		name string
 		mut  func(*ran.Config)
@@ -63,8 +85,8 @@ func S1PHYContexts(o Options) *FigureData {
 	cfgs := make([]Config, len(contexts))
 	for i, ctx := range contexts {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(60 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(60 * time.Second)
 		cfg.CaptureGCC = true
 		ctx.mut(&cfg.RAN)
 		cfgs[i] = cfg
@@ -79,11 +101,11 @@ func S1PHYContexts(o Options) *FigureData {
 		fig.Scalars["overuse:"+key] = float64(res.GCC.OveruseCount)
 		fig.Scalars["rate_kbps:"+key] = res.GCC.TargetRate().Kbits()
 		fig.Scalars["quantum_ms:"+key] = float64(cfgs[i].RAN.ULPeriod()) / float64(time.Millisecond)
-		fig.add(fmt.Sprintf("video UL delay CDF (x=ms): %s", key),
+		fig.Add(fmt.Sprintf("video UL delay CDF (x=ms): %s", key),
 			stats.NewCDFInPlace(res.Report.ULDelaysMS(packet.KindVideo)).Points(30))
 	}
-	fig.note("finer uplink cadence (short slices, FDD) shrinks the delay-spread quantum and the median uplink delay")
-	fig.note("but under channel fading, finer cadence also multiplies the gradient samples per trendline window and thins per-slot capacity, so GCC's phantom overuse does not automatically improve — the duplexing choice interacts with channel dynamics, which is precisely the §5.1 design space Athena exists to explore")
+	fig.Note("finer uplink cadence (short slices, FDD) shrinks the delay-spread quantum and the median uplink delay")
+	fig.Note("but under channel fading, finer cadence also multiplies the gradient samples per trendline window and thins per-slot capacity, so GCC's phantom overuse does not automatically improve — the duplexing choice interacts with channel dynamics, which is precisely the §5.1 design space Athena exists to explore")
 	return fig
 }
 
@@ -92,13 +114,13 @@ func S1PHYContexts(o Options) *FigureData {
 // paper's 5G cell, a Wi-Fi-like contention channel, and a LEO-satellite
 // path with handover-driven delay steps — plus the wired reference.
 func S2AccessNetworks(o Options) *FigureData {
-	fig := newFigure("S2", "One VCA, many access networks: artifact structure differs (§5.1)")
+	fig := NewFigure("S2", "One VCA, many access networks: artifact structure differs (§5.1)")
 	accesses := []AccessKind{Access5G, AccessWiFi, AccessLEO, AccessWired}
 	cfgs := make([]Config, len(accesses))
 	for i, acc := range accesses {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(60 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(60 * time.Second)
 		cfg.Access = acc
 		cfg.CaptureGCC = true
 		cfgs[i] = cfg
@@ -114,10 +136,10 @@ func S2AccessNetworks(o Options) *FigureData {
 		// copy. FrameRates returns a fresh slice: quantile in place.
 		fig.Scalars["frame_jitter_p50_ms:"+key] = stats.Quantile(res.Receiver.FrameJitter, 0.5)
 		fig.Scalars["fps_p50:"+key] = stats.QuantileInPlace(res.Receiver.Renderer.FrameRates(), 0.5)
-		fig.add("video UL delay CDF (x=ms): "+key,
+		fig.Add("video UL delay CDF (x=ms): "+key,
 			stats.NewCDFInPlace(res.Report.ULDelaysMS(packet.KindVideo)).Points(30))
 	}
-	fig.note("each access technology injects a different artifact: 5G quantizes and over-grants, Wi-Fi adds contention variance, LEO adds handover delay steps; only the wired path is artifact-free")
+	fig.Note("each access technology injects a different artifact: 5G quantizes and over-grants, Wi-Fi adds contention variance, LEO adds handover delay steps; only the wired path is artifact-free")
 	return fig
 }
 
@@ -130,13 +152,13 @@ func S2AccessNetworks(o Options) *FigureData {
 // rate-decision oscillation (stddev of relative rate steps) — the
 // learner's confusion metric.
 func S3LearningCC(o Options) *FigureData {
-	fig := newFigure("S3", "Learning-based CC still sees a clouded view on 5G (§1)")
+	fig := NewFigure("S3", "Learning-based CC still sees a clouded view on 5G (§1)")
 	accesses := []AccessKind{AccessWired, Access5G}
 	cfgs := make([]Config, len(accesses))
 	for i, acc := range accesses {
 		cfg := DefaultConfig()
-		cfg.Seed = o.seed()
-		cfg.Duration = o.scale(90 * time.Second)
+		cfg.Seed = o.SeedOrDefault()
+		cfg.Duration = o.Scaled(90 * time.Second)
 		cfg.Access = acc
 		cfg.Controller = scenario.CtlPCC
 		cfgs[i] = cfg
@@ -148,9 +170,9 @@ func S3LearningCC(o Options) *FigureData {
 		fig.Scalars["decisions:"+key] = float64(res.PCC.Decisions)
 		fig.Scalars["down_decisions:"+key] = float64(res.PCC.DownDecisions)
 		fig.Scalars["step_stddev:"+key] = rateStepStddev(res.PCC.RateTrace)
-		fig.add("PCC base rate kbps over decisions: "+key, tracePoints(res.PCC.RateTrace))
+		fig.Add("PCC base rate kbps over decisions: "+key, tracePoints(res.PCC.RateTrace))
 	}
-	fig.note("with identical capacity headroom, the learner achieves a lower rate and brakes more often on the 5G cell: RAN latency artifacts read as utility gradients")
+	fig.Note("with identical capacity headroom, the learner achieves a lower rate and brakes more often on the 5G cell: RAN latency artifacts read as utility gradients")
 	return fig
 }
 
@@ -186,7 +208,7 @@ func tracePoints(trace []float64) []stats.Point {
 // classes: sporadic tiny packets pay the grant cycle, bursts pay the
 // delay spread, bulk mostly doesn't care.
 func S4AppDiversity(o Options) *FigureData {
-	fig := newFigure("S4", "Application classes feel different RAN artifacts (§5.1)")
+	fig := NewFigure("S4", "Application classes feel different RAN artifacts (§5.1)")
 	classes := []apps.Class{apps.ClassGaming, apps.ClassWeb, apps.ClassUpload, apps.ClassVoD}
 	type path struct {
 		name  string
@@ -198,7 +220,7 @@ func S4AppDiversity(o Options) *FigureData {
 		{"5g-bsr-only", ran.SchedBSROnly, false},
 		{"wired", 0, true},
 	}
-	dur := o.scale(30 * time.Second)
+	dur := o.Scaled(30 * time.Second)
 	type cell struct {
 		class apps.Class
 		path  path
@@ -215,7 +237,7 @@ func S4AppDiversity(o Options) *FigureData {
 	metrics := make([]apps.Metrics, len(cells))
 	runner.Default.ForEach(context.Background(), len(cells), func(i int) {
 		cl, p := cells[i].class, cells[i].path
-		s := sim.New(o.seed())
+		s := sim.New(o.SeedOrDefault())
 		var alloc packet.Alloc
 		var g *apps.Generator
 		tap := packet.HandlerFunc(func(pk *packet.Packet) { g.OnArrival(pk, s.Now()) })
@@ -246,7 +268,7 @@ func S4AppDiversity(o Options) *FigureData {
 			fig.Scalars["mbps:"+key] = m.ThroughputMbps
 		}
 	}
-	fig.note("gaming input pays the grant machinery (proactive rescues it, BSR-only ruins it); web/VoD bursts pay the 2.5 ms spread; bulk upload barely notices — per-class sensitivity is the §5.1 matching problem")
+	fig.Note("gaming input pays the grant machinery (proactive rescues it, BSR-only ruins it); web/VoD bursts pay the 2.5 ms spread; bulk upload barely notices — per-class sensitivity is the §5.1 matching problem")
 	return fig
 }
 
