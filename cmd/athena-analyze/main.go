@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"athena"
+	"athena/internal/obs"
 	"athena/internal/packet"
 	"athena/internal/profiling"
 	"athena/internal/stats"
@@ -29,15 +30,25 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "simulated call duration (live mode)")
 	seed := flag.Int64("seed", 1, "simulation seed (live mode)")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run (parallel) and aggregate")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	prof := profiling.AddFlags(flag.CommandLine)
+	obsFlags := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.StartConfig(*prof)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProf()
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *in != "" {
 		summarizeFile(*in)

@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"athena/internal/experiment"
+	"athena/internal/obs"
 	"athena/internal/profiling"
+	"athena/internal/runner"
 
 	_ "athena" // register the built-in experiment drivers
 )
@@ -59,8 +61,9 @@ func main() {
 	manifest := flag.String("manifest", "", "write a JSON run manifest (options, wall times, content digests) to this file")
 	out := flag.String("out", "", "directory to also write per-figure CSV data into")
 	parallel := flag.Int("parallel", 1, "number of experiments to regenerate concurrently")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	verbose := flag.Bool("v", false, "print runner pool statistics after the sweep")
+	prof := profiling.AddFlags(flag.CommandLine)
+	obsFlags := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	sel, err := experiment.Select(experiment.Selection{
@@ -82,11 +85,21 @@ func main() {
 		log.Fatalf("no experiments match the selection; run with -list to see the registry")
 	}
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.StartConfig(*prof)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProf()
+
+	// Pool statistics ride the obs counters, so -v implies collection
+	// even when no output file was requested.
+	if *verbose {
+		obs.Enable()
+	}
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opts := experiment.Options{Seed: *seed, Scale: *scale}
 	start := time.Now()
@@ -117,4 +130,12 @@ func main() {
 		fmt.Printf("wrote manifest %s (%d experiments)\n", *manifest, len(results))
 	}
 	fmt.Printf("regenerated %d artifacts in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	if *verbose {
+		st := runner.Default.Stats()
+		fmt.Printf("scenario pool: %d submissions, %d memo hits, %d misses, %d in flight, %d flushes\n",
+			st.Submissions, st.MemoHits, st.MemoMisses, st.InFlight, st.Flushes)
+	}
+	if err := stopObs(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"athena"
+	"athena/internal/obs"
 	"athena/internal/packet"
+	"athena/internal/profiling"
 	"athena/internal/ran"
 	"athena/internal/trace"
 	"athena/internal/units"
@@ -38,12 +40,30 @@ func main() {
 	cross := flag.Bool("cross", false, "enable the paper's cross-traffic phase schedule (time-compressed)")
 	sched := flag.String("sched", "combined", "uplink scheduler: combined|bsr|proactive|appaware|oracle")
 	flows := flag.String("flows", "", "comma-separated flow IDs; restrict dumped capture records to these flows")
+	prof := profiling.AddFlags(flag.CommandLine)
+	obsFlags := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	keepFlow, err := parseFlows(*flows)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	stopProf, err := profiling.StartConfig(*prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := athena.DefaultConfig()
 	cfg.Duration = *duration

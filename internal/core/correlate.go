@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"athena/internal/obs"
 	"athena/internal/packet"
 	"athena/internal/telemetry"
 )
@@ -164,7 +165,12 @@ func Correlate(in Input) *Report {
 }
 
 // correlate is the shared pipeline behind Correlate and LiveCorrelator.
+// Stage spans (join, reconstructTBs, attribution) go to the global obs
+// timeline; with none installed the spans are inert zero values, which
+// preserves the live path's allocation-free guarantee.
 func (sc *scratch) correlate(in Input) *Report {
+	root := obs.StartSpan("correlate")
+	defer root.End()
 	rep := sc.report(len(in.Sender))
 
 	// Flow filter (multi-UE topologies carving shared captures).
@@ -214,6 +220,7 @@ func (sc *scratch) correlate(in Input) *Report {
 	}
 
 	// 2. Join the core and receiver captures against the sender index.
+	join := root.Child("correlate.join")
 	coreOff := in.offset(packet.PointCore)
 	for _, r := range in.Core {
 		if flowOK != nil && !flowOK[r.Flow] {
@@ -247,8 +254,10 @@ func (sc *scratch) correlate(in Input) *Report {
 		}
 	}
 
+	join.End()
+
 	// 3. Match packets to transport blocks and attribute uplink delay.
-	sc.matchTBs(rep, in, senderRecs)
+	sc.matchTBs(rep, in, senderRecs, root)
 
 	// 4. Group packets into frames/samples and compute delay spreads.
 	rep.Frames = sc.groupFrames(rep.Packets, rep.Frames)
@@ -289,11 +298,15 @@ func (sc *scratch) report(senderHint int) *Report {
 // the current FIFO head are contiguous, and the head never moves
 // backwards). The former map[int]*carry of heap-allocated pairs reduces
 // to two local process indexes finalized when the head advances.
-func (sc *scratch) matchTBs(rep *Report, in Input, senderRecs []packet.Record) {
+func (sc *scratch) matchTBs(rep *Report, in Input, senderRecs []packet.Record, parent obs.Span) {
 	if len(in.TBs) == 0 {
 		return
 	}
+	reconstruct := parent.Child("correlate.reconstructTBs")
 	procs := sc.reconstructTBs(in.TBs)
+	reconstruct.End()
+	attribution := parent.Child("correlate.attribution")
+	defer attribution.End()
 	tol := in.MatchTolerance
 	if tol == 0 {
 		tol = 5 * time.Millisecond

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"athena/internal/obs"
+)
+
+// benchCorrelateNObs is benchCorrelateN with the obs layer fully armed:
+// metrics enabled and a live timeline collecting the pipeline's stage
+// spans. Compared against BenchmarkCorrelate100k it measures the
+// enabled-instrumentation overhead the acceptance criteria bound (<10%).
+func benchCorrelateNObs(b *testing.B, n int) {
+	obs.Enable()
+	tl := obs.NewTracer()
+	// Each Correlate emits 4 spans; keep the cap above b.N's worst case
+	// so span drops cannot flatter the numbers.
+	tl.MaxSpans = 1 << 24
+	obs.SetTimeline(tl)
+	defer func() {
+		obs.SetTimeline(nil)
+		obs.Disable()
+	}()
+	in := synthInput(n, 4, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Correlate(in)
+		if len(rep.Packets) != n {
+			b.Fatalf("correlated %d of %d packets", len(rep.Packets), n)
+		}
+	}
+	b.StopTimer()
+	if len(tl.Snapshot()) == 0 {
+		b.Fatal("timeline recorded no spans — instrumentation inactive")
+	}
+}
+
+func BenchmarkCorrelate100kObs(b *testing.B) { benchCorrelateNObs(b, 100_000) }

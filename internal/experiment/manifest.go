@@ -9,8 +9,14 @@ import (
 	"sort"
 )
 
-// ManifestSchema versions the manifest JSON layout.
-const ManifestSchema = 1
+// ManifestSchema versions the manifest JSON layout. History:
+//
+//	1: initial layout
+//	2: per-entry queue_wait_ms, recorded separately from wall_ms
+//
+// ReadManifest accepts any schema up to the current one; older readers
+// reject newer manifests rather than silently dropping fields.
+const ManifestSchema = 2
 
 // ManifestEntry records one experiment of a sweep: its registry
 // metadata, the options it ran under, its wall time, the content digest
@@ -19,16 +25,20 @@ const ManifestSchema = 1
 // same revision must agree digest-for-digest — and a digest that moves
 // across revisions localizes a behavior change to one experiment.
 type ManifestEntry struct {
-	ID        string   `json:"id"`
-	Title     string   `json:"title"`
-	Family    string   `json:"family"`
-	Tags      []string `json:"tags,omitempty"`
-	Options   Options  `json:"options"`
-	WallMS    float64  `json:"wall_ms"`
-	Digest    string   `json:"digest"`
-	Artifacts []string `json:"artifacts,omitempty"`
-	Error     string   `json:"error,omitempty"`
-	Skipped   bool     `json:"skipped,omitempty"`
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Family  string   `json:"family"`
+	Tags    []string `json:"tags,omitempty"`
+	Options Options  `json:"options"`
+	WallMS  float64  `json:"wall_ms"`
+	// QueueWaitMS (schema >= 2) is how long the experiment waited
+	// behind the sweep's parallelism bound before running; wall_ms
+	// counts only the generator itself.
+	QueueWaitMS float64  `json:"queue_wait_ms"`
+	Digest      string   `json:"digest"`
+	Artifacts   []string `json:"artifacts,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Skipped     bool     `json:"skipped,omitempty"`
 }
 
 // Manifest is the JSON run record a sweep emits for regression diffing:
@@ -46,15 +56,16 @@ func NewManifest(opts Options, results []RunResult) *Manifest {
 	m := &Manifest{Schema: ManifestSchema, Options: opts}
 	for _, r := range results {
 		e := ManifestEntry{
-			ID:        r.Experiment.ID,
-			Title:     r.Experiment.Title,
-			Family:    r.Experiment.Family,
-			Tags:      r.Experiment.Tags,
-			Options:   opts,
-			WallMS:    math.Round(r.Wall.Seconds()*1e6) / 1e3, // µs resolution
-			Digest:    r.Digest,
-			Artifacts: r.Artifacts,
-			Skipped:   r.Skipped,
+			ID:          r.Experiment.ID,
+			Title:       r.Experiment.Title,
+			Family:      r.Experiment.Family,
+			Tags:        r.Experiment.Tags,
+			Options:     opts,
+			WallMS:      math.Round(r.Wall.Seconds()*1e6) / 1e3, // µs resolution
+			QueueWaitMS: math.Round(r.QueueWait.Seconds()*1e6) / 1e3,
+			Digest:      r.Digest,
+			Artifacts:   r.Artifacts,
+			Skipped:     r.Skipped,
 		}
 		if r.Err != nil {
 			e.Error = r.Err.Error()

@@ -27,13 +27,14 @@ func manifestFixture() (Options, []RunResult) {
 			Rendered:   rendered,
 			Digest:     Digest(rendered),
 			Wall:       1500 * time.Microsecond,
+			QueueWait:  250 * time.Microsecond,
 		}
 	}
 	return opts, []RunResult{mk("F3", "first"), mk("F4", "second")}
 }
 
 const goldenManifest = `{
-  "schema": 1,
+  "schema": 2,
   "options": {
     "seed": 7,
     "scale": 0.25
@@ -51,6 +52,7 @@ const goldenManifest = `{
         "scale": 0.25
       },
       "wall_ms": 1.5,
+      "queue_wait_ms": 0.25,
       "digest": "0afc0ee24f2c6e8732d3ae04f24953ddaa8e1215523e7e7b09cfbeba1c148039"
     },
     {
@@ -65,6 +67,7 @@ const goldenManifest = `{
         "scale": 0.25
       },
       "wall_ms": 1.5,
+      "queue_wait_ms": 0.25,
       "digest": "15974ce1453aec67f0a21e49de8c00ba642dcef65dfd5e855dcf398f737f07c5"
     }
   ]
@@ -124,6 +127,37 @@ func TestManifestSchemaGuard(t *testing.T) {
 	}
 	if _, err := ReadManifest(strings.NewReader(`{nope`)); err == nil {
 		t.Fatal("bad JSON accepted")
+	}
+}
+
+// TestManifestReadsSchemaV1 pins backwards compatibility: a manifest
+// written before queue_wait_ms existed still parses, with the new field
+// zero, so DiffDigests can compare runs across the schema bump.
+func TestManifestReadsSchemaV1(t *testing.T) {
+	v1 := `{
+  "schema": 1,
+  "options": {"seed": 7, "scale": 0.25},
+  "experiments": [
+    {"id": "F3", "title": "first", "family": "figure",
+     "options": {"seed": 7, "scale": 0.25},
+     "wall_ms": 1.5, "digest": "abc"}
+  ]
+}`
+	m, err := ReadManifest(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != 1 || len(m.Experiments) != 1 {
+		t.Fatalf("v1 manifest misparsed: %+v", m)
+	}
+	e := m.Experiments[0]
+	if e.ID != "F3" || e.WallMS != 1.5 || e.QueueWaitMS != 0 {
+		t.Fatalf("v1 entry misparsed: %+v", e)
+	}
+	cur := NewManifest(Options{Seed: 7, Scale: 0.25}, nil)
+	cur.Experiments = append(cur.Experiments, ManifestEntry{ID: "F3", Digest: "abc"})
+	if diffs := DiffDigests(m, cur); len(diffs) != 0 {
+		t.Fatalf("cross-schema diff not clean: %v", diffs)
 	}
 }
 

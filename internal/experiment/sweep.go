@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"athena/internal/obs"
 	"athena/internal/runner"
 )
 
@@ -23,6 +24,10 @@ type SweepConfig struct {
 	// hook CLIs print from. It must not be called concurrently and is
 	// never called for experiments skipped by cancellation.
 	OnResult func(i int, r RunResult)
+	// Tracer, when set, receives one span per executed experiment
+	// (named exp:<id>). When nil, the global obs timeline is used — and
+	// with no timeline installed, span recording is inert.
+	Tracer *obs.Tracer
 }
 
 // RunResult is one experiment's slot in a sweep, in input order.
@@ -35,6 +40,10 @@ type RunResult struct {
 	Digest   string
 	// Wall is the regeneration wall time (excluded from the digest).
 	Wall time.Duration
+	// QueueWait is how long the experiment sat behind the sweep's
+	// Parallel bound before its generator started (also excluded from
+	// the digest).
+	QueueWait time.Duration
 	// Artifacts lists the files saved under SweepConfig.OutDir.
 	Artifacts []string
 	// Err is a save error, or the context error when Skipped.
@@ -76,6 +85,11 @@ func Sweep(ctx context.Context, exps []Experiment, cfg SweepConfig) []RunResult 
 	if workers < 1 {
 		workers = 1
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.Timeline()
+	}
+	submitAt := time.Now()
 	pool := runner.New(workers)
 	pool.ForEach(ctx, len(exps), func(i int) {
 		r := RunResult{Experiment: exps[i]}
@@ -85,12 +99,15 @@ func Sweep(ctx context.Context, exps []Experiment, cfg SweepConfig) []RunResult 
 			finish(i)
 			return
 		}
+		r.QueueWait = time.Since(submitAt)
+		span := tracer.Begin("exp:"+exps[i].ID, 0)
 		t0 := time.Now()
 		fig := exps[i].Gen(cfg.Options)
 		r.Figure = fig
 		r.Rendered = fig.String()
 		r.Digest = Digest(r.Rendered)
 		r.Wall = time.Since(t0)
+		span.End()
 		if cfg.OutDir != "" {
 			r.Artifacts, r.Err = fig.Save(cfg.OutDir)
 		}

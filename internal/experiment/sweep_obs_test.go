@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"athena/internal/obs"
+	"athena/internal/stats"
+)
+
+// fastExperiments builds n trivial deterministic experiments (IDs A1,
+// B1, ...) whose figures depend only on (id, options).
+func fastExperiments(n int) []Experiment {
+	es := make([]Experiment, n)
+	for i := range es {
+		id := string(rune('A'+i)) + "1"
+		es[i] = Experiment{ID: id, Family: "test", Gen: func(o Options) *FigureData {
+			f := New(id, "t-"+id)
+			f.Add("line", []stats.Point{{X: 1, Y: float64(o.SeedOrDefault())}})
+			return f
+		}}
+	}
+	return es
+}
+
+// goldenSweepTrace is the Chrome trace of a serial 2-experiment sweep
+// under a deterministic clock that advances 1 ms per reading: each
+// experiment's span takes two readings (begin, end), so the spans tile
+// [1,2] and [3,4] ms on their own tracks.
+const goldenSweepTrace = `{
+  "traceEvents": [
+    {
+      "name": "exp:A1",
+      "ph": "X",
+      "ts": 1000,
+      "dur": 1000,
+      "pid": 1,
+      "tid": 1
+    },
+    {
+      "name": "exp:B1",
+      "ph": "X",
+      "ts": 3000,
+      "dur": 1000,
+      "pid": 1,
+      "tid": 2
+    }
+  ]
+}
+`
+
+func TestSweepChromeTraceGolden(t *testing.T) {
+	var ticks atomic.Int64
+	tr := obs.NewTracerClock(func() time.Duration {
+		return time.Duration(ticks.Add(1)) * time.Millisecond
+	})
+	results := Sweep(context.Background(), fastExperiments(2), SweepConfig{
+		Parallel: 1,
+		Tracer:   tr,
+	})
+	for _, r := range results {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("sweep failed: %+v", r)
+		}
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenSweepTrace {
+		t.Fatalf("sweep chrome trace drifted from golden:\n%s", b.String())
+	}
+}
+
+// TestSweepSpansParallel runs a parallel sweep under the race detector:
+// every experiment must contribute exactly one intact span, regardless
+// of worker interleaving.
+func TestSweepSpansParallel(t *testing.T) {
+	tr := obs.NewTracer()
+	exps := fastExperiments(8)
+	Sweep(context.Background(), exps, SweepConfig{Parallel: 4, Tracer: tr})
+
+	spans := tr.Snapshot()
+	if len(spans) != len(exps) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(exps))
+	}
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !strings.HasPrefix(s.Name, "exp:") || s.Parent != 0 || s.End < s.Start {
+			t.Fatalf("corrupt span: %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate span %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, e := range exps {
+		if !seen["exp:"+e.ID] {
+			t.Fatalf("no span for %s", e.ID)
+		}
+	}
+}
+
+// TestSweepRecordsQueueWait checks the manifest sees a nonzero per-
+// experiment queue wait and that it is excluded from Wall.
+func TestSweepRecordsQueueWait(t *testing.T) {
+	results := Sweep(context.Background(), fastExperiments(3), SweepConfig{Parallel: 1})
+	for i, r := range results {
+		if r.QueueWait < 0 {
+			t.Fatalf("slot %d queue wait negative: %v", i, r.QueueWait)
+		}
+	}
+	m := NewManifest(Options{}, results)
+	for i, e := range m.Experiments {
+		if e.QueueWaitMS < 0 {
+			t.Fatalf("entry %d queue_wait_ms negative: %v", i, e.QueueWaitMS)
+		}
+	}
+	if m.Schema != 2 {
+		t.Fatalf("manifest schema = %d, want 2", m.Schema)
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLIFlags is the shared observability flag contract every CLI exposes:
+// -metrics-out (registry snapshot JSON at exit), -timeline (Chrome
+// trace-event JSON at exit) and -debug-addr (live expvar + pprof HTTP
+// endpoint).
+type CLIFlags struct {
+	MetricsOut  string
+	TimelineOut string
+	DebugAddr   string
+}
+
+// AddCLIFlags registers the observability flags on fs (typically
+// flag.CommandLine, before flag.Parse).
+func AddCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (counters, gauges, histograms) to this file at exit")
+	fs.StringVar(&c.TimelineOut, "timeline", "", "write a Chrome trace-event JSON span timeline (Perfetto-loadable) to this file at exit")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:8372)")
+	return c
+}
+
+// Active reports whether any observability output was requested.
+func (c *CLIFlags) Active() bool {
+	return c.MetricsOut != "" || c.TimelineOut != "" || c.DebugAddr != ""
+}
+
+// Start enables collection as requested: metric recording whenever any
+// flag is set, the global timeline when -timeline is set, and the debug
+// HTTP endpoint when -debug-addr is set. The returned stop function
+// writes the requested output files; call it exactly once, after the
+// workload.
+func (c *CLIFlags) Start() (stop func() error, err error) {
+	if !c.Active() {
+		return func() error { return nil }, nil
+	}
+	Enable()
+	var tr *Tracer
+	if c.TimelineOut != "" {
+		tr = NewTracer()
+		SetTimeline(tr)
+	}
+	if c.DebugAddr != "" {
+		go func() {
+			if err := ServeDebug(c.DebugAddr); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: debug endpoint: %v\n", err)
+			}
+		}()
+	}
+	return func() error {
+		if c.MetricsOut != "" {
+			if err := WriteMetricsFile(c.MetricsOut); err != nil {
+				return fmt.Errorf("writing metrics snapshot: %w", err)
+			}
+		}
+		if tr != nil {
+			if err := tr.WriteChromeTraceFile(c.TimelineOut); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar publication of the metrics snapshot:
+// expvar.Publish panics on duplicate names.
+var publishOnce sync.Once
+
+// DebugHandler returns the opt-in debug mux: the expvar variable dump
+// (including an "athena.metrics" snapshot of this registry) under
+// /debug/vars and the pprof profile family under /debug/pprof/. It is
+// built on a private mux so importing this package never mutates
+// http.DefaultServeMux.
+func DebugHandler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("athena.metrics", expvar.Func(func() any { return TakeSnapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// ServeDebug serves DebugHandler on addr. It blocks (callers run it in a
+// goroutine) and returns the http.ListenAndServe error.
+func ServeDebug(addr string) error {
+	return http.ListenAndServe(addr, DebugHandler())
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withObs runs f with collection enabled, restoring the disabled default
+// and zeroed registry afterwards so tests cannot leak state.
+func withObs(t *testing.T, f func()) {
+	t.Helper()
+	Enable()
+	defer func() {
+		Disable()
+		ResetAll()
+	}()
+	f()
+}
+
+func TestCounterGatedOnEnable(t *testing.T) {
+	c := NewCounter("test.gate.counter")
+	c.Inc()
+	c.Add(10)
+	if v := c.Value(); v != 0 {
+		t.Fatalf("disabled counter recorded %d", v)
+	}
+	withObs(t, func() {
+		c.Inc()
+		c.Add(10)
+		if v := c.Value(); v != 11 {
+			t.Fatalf("enabled counter = %d, want 11", v)
+		}
+	})
+	if v := c.Value(); v != 0 {
+		t.Fatalf("ResetAll left counter at %d", v)
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	withObs(t, func() {
+		c.Inc() // must not panic
+		c.Add(5)
+	})
+}
+
+func TestGaugeSetAddMax(t *testing.T) {
+	g := NewGauge("test.gauge")
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Fatal("disabled gauge recorded")
+	}
+	withObs(t, func() {
+		g.Set(5)
+		g.Add(-2)
+		if g.Value() != 3 {
+			t.Fatalf("gauge = %d, want 3", g.Value())
+		}
+		g.Max(10)
+		g.Max(7) // below the watermark: no effect
+		if g.Value() != 10 {
+			t.Fatalf("gauge max = %d, want 10", g.Value())
+		}
+	})
+}
+
+func TestGaugeMaxConcurrent(t *testing.T) {
+	g := NewGauge("test.gauge.concurrent")
+	withObs(t, func() {
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					g.Max(int64(w*1000 + i))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if g.Value() != 7999 {
+			t.Fatalf("concurrent max = %d, want 7999", g.Value())
+		}
+	})
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram("test.hist")
+	withObs(t, func() {
+		// 90 small values and 10 large ones: p50/p90 land in the small
+		// bucket's bound, p99 in the large one's.
+		for i := 0; i < 90; i++ {
+			h.Observe(100) // bucket 7, bound 127
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(100000) // bucket 17, bound 131071
+		}
+		s := h.Snapshot()
+		if s.Count != 100 || s.Sum != 90*100+10*100000 {
+			t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+		}
+		if s.P50 != 127 {
+			t.Fatalf("p50 = %d, want 127", s.P50)
+		}
+		// The 90th observation (0-indexed rank 90) is the first large
+		// value, so p90 and p99 land in the large bucket's bound.
+		if s.P90 != 131071 || s.P99 != 131071 {
+			t.Fatalf("p90/p99 = %d/%d, want 131071/131071", s.P90, s.P99)
+		}
+		if len(s.Buckets) != 2 {
+			t.Fatalf("buckets = %+v, want 2 non-empty", s.Buckets)
+		}
+	})
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := NewHistogram("test.hist.edges")
+	withObs(t, func() {
+		h.Observe(-5) // clamps into bucket 0
+		h.Observe(0)
+		h.Observe(1 << 62) // beyond the last bucket bound: clamps to last
+		if h.Count() != 3 {
+			t.Fatalf("count = %d", h.Count())
+		}
+		s := h.Snapshot()
+		if s.Buckets[0].Le != 0 || s.Buckets[0].N != 2 {
+			t.Fatalf("zero bucket = %+v", s.Buckets[0])
+		}
+		last := s.Buckets[len(s.Buckets)-1]
+		if last.N != 1 {
+			t.Fatalf("overflow bucket = %+v", last)
+		}
+	})
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram("test.hist.duration")
+	withObs(t, func() {
+		h.ObserveDuration(3 * time.Millisecond)
+		if h.Count() != 1 {
+			t.Fatal("duration not observed")
+		}
+	})
+}
+
+func TestRegistryDedupAndSnapshot(t *testing.T) {
+	a := NewCounter("test.registry.dup")
+	b := NewCounter("test.registry.dup")
+	if a != b {
+		t.Fatal("NewCounter returned distinct instances for one name")
+	}
+	own := new(Counter)
+	if got := RegisterCounter("test.registry.dup", own); got != a {
+		t.Fatal("RegisterCounter did not keep the first registration")
+	}
+	if got := RegisterCounter("test.registry.own", own); got != own {
+		t.Fatal("RegisterCounter rejected a fresh name")
+	}
+
+	withObs(t, func() {
+		a.Inc()
+		NewGauge("test.registry.g").Set(4)
+		NewHistogram("test.registry.h").Observe(9)
+		s := TakeSnapshot()
+		if s.Counters["test.registry.dup"] != 1 {
+			t.Fatalf("snapshot counters = %v", s.Counters)
+		}
+		if s.Gauges["test.registry.g"] != 4 {
+			t.Fatalf("snapshot gauges = %v", s.Gauges)
+		}
+		if s.Histograms["test.registry.h"].Count != 1 {
+			t.Fatalf("snapshot histograms = %v", s.Histograms)
+		}
+	})
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	withObs(t, func() {
+		NewCounter("test.json.counter").Inc()
+		var b strings.Builder
+		if err := WriteMetricsJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		var s Snapshot
+		if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+			t.Fatalf("snapshot JSON invalid: %v\n%s", err, b.String())
+		}
+		if s.Counters["test.json.counter"] != 1 {
+			t.Fatalf("decoded counters = %v", s.Counters)
+		}
+		if !strings.HasSuffix(b.String(), "\n") {
+			t.Fatal("snapshot missing trailing newline")
+		}
+	})
+}
+
+// TestRecordPathNoAllocs pins the package contract: the record path
+// never allocates, with collection disabled or enabled.
+func TestRecordPathNoAllocs(t *testing.T) {
+	c := NewCounter("test.alloc.counter")
+	g := NewGauge("test.alloc.gauge")
+	h := NewHistogram("test.alloc.hist")
+	record := func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(1)
+		g.Max(9)
+		h.Observe(1234)
+	}
+
+	Disable()
+	if n := testing.AllocsPerRun(1000, record); n != 0 {
+		t.Fatalf("disabled record path allocates %.1f/op", n)
+	}
+	withObs(t, func() {
+		if n := testing.AllocsPerRun(1000, record); n != 0 {
+			t.Fatalf("enabled record path allocates %.1f/op", n)
+		}
+	})
+}

@@ -1,25 +1,54 @@
-// Package profiling wires runtime/pprof into the CLI tools: a single
-// Start call handles both the CPU profile (sampled for the life of the
-// run) and the heap profile (snapshot at exit), so every command exposes
-// the same -cpuprofile/-memprofile contract.
+// Package profiling wires runtime/pprof into the CLI tools: one
+// StartConfig call handles the CPU profile (sampled for the life of the
+// run), the heap profile (snapshot at exit), and the block and mutex
+// contention profiles (enabled for the run, snapshot at exit), so every
+// command exposes the same -cpuprofile/-memprofile/-blockprofile/
+// -mutexprofile contract.
 package profiling
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
 
-// Start begins profiling as requested: a non-empty cpuPath starts CPU
-// sampling immediately, a non-empty memPath schedules a heap snapshot.
-// The returned stop function finalizes both files and must be called
-// exactly once, after the workload (typically via defer in main). Either
-// path may be empty; with both empty, Start is a no-op.
+// Config selects which profiles to collect; empty paths are skipped.
+type Config struct {
+	CPUProfile   string
+	MemProfile   string
+	BlockProfile string
+	MutexProfile string
+}
+
+// AddFlags registers the standard profiling flags on fs (typically
+// flag.CommandLine, before flag.Parse).
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&c.BlockProfile, "blockprofile", "", "write a goroutine blocking profile to this file at exit")
+	fs.StringVar(&c.MutexProfile, "mutexprofile", "", "write a mutex contention profile to this file at exit")
+	return c
+}
+
+// Start begins CPU and heap profiling as requested; it is the legacy
+// two-profile entry point, kept for callers that predate Config.
 func Start(cpuPath, memPath string) (stop func(), err error) {
+	return StartConfig(Config{CPUProfile: cpuPath, MemProfile: memPath})
+}
+
+// StartConfig begins profiling as requested: a non-empty CPUProfile
+// starts CPU sampling immediately; BlockProfile and MutexProfile turn on
+// the runtime's contention sampling; MemProfile schedules a heap
+// snapshot. The returned stop function finalizes every file and must be
+// called exactly once, after the workload (typically via defer in main).
+// With an all-empty Config, StartConfig is a no-op.
+func StartConfig(cfg Config) (stop func(), err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if cfg.CPUProfile != "" {
+		cpuFile, err = os.Create(cfg.CPUProfile)
 		if err != nil {
 			return nil, fmt.Errorf("creating CPU profile: %w", err)
 		}
@@ -28,13 +57,29 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("starting CPU profile: %w", err)
 		}
 	}
+	if cfg.BlockProfile != "" {
+		// Sample every blocking event; the workloads here are short-lived
+		// CLI runs where full fidelity beats sampling cheapness.
+		runtime.SetBlockProfileRate(1)
+	}
+	if cfg.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if cfg.BlockProfile != "" {
+			writeLookup("block", cfg.BlockProfile)
+			runtime.SetBlockProfileRate(0)
+		}
+		if cfg.MutexProfile != "" {
+			writeLookup("mutex", cfg.MutexProfile)
+			runtime.SetMutexProfileFraction(0)
+		}
+		if cfg.MemProfile != "" {
+			f, err := os.Create(cfg.MemProfile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "profiling: creating heap profile: %v\n", err)
 				return
@@ -46,4 +91,22 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// writeLookup snapshots a named runtime profile (block, mutex) to path.
+func writeLookup(name, path string) {
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "profiling: no %s profile in this runtime\n", name)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: creating %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: writing %s profile: %v\n", name, err)
+	}
 }

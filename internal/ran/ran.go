@@ -5,10 +5,27 @@ import (
 	"math/rand"
 	"time"
 
+	"athena/internal/obs"
 	"athena/internal/packet"
 	"athena/internal/sim"
 	"athena/internal/telemetry"
 	"athena/internal/units"
+)
+
+// Scheduler metrics, aggregated across every cell in the process. Grant
+// counters are indexed by telemetry.GrantKind so the hot path never
+// formats a label. None of these touch RNG streams or event ordering.
+var (
+	metGrantsByKind = [...]*obs.Counter{
+		telemetry.GrantProactive: obs.NewCounter("ran.grants.proactive"),
+		telemetry.GrantRequested: obs.NewCounter("ran.grants.requested"),
+		telemetry.GrantAppAware:  obs.NewCounter("ran.grants.app_aware"),
+		telemetry.GrantOracle:    obs.NewCounter("ran.grants.oracle"),
+	}
+	metHARQRetx      = obs.NewCounter("ran.harq_retx")
+	metTBOvergranted = obs.NewCounter("ran.tb_overgranted")
+	metTBWastedBytes = obs.NewCounter("ran.tb_wasted_bytes")
+	metDrops         = obs.NewCounter("ran.drops")
 )
 
 // RAN is the cell: a gNB serving one or more UEs under a shared uplink
@@ -116,6 +133,9 @@ func (r *RAN) effectiveCapacity() units.ByteCount {
 // returns it.
 func (r *RAN) AttachUE(id uint32, sched SchedulerKind) *UE {
 	u := &UE{ID: id, Sched: sched, ran: r, Downlink: packet.Discard}
+	// NewCounter dedups by name, so re-attaching the same UE ID across
+	// scenario runs keeps accumulating into one per-UE drop counter.
+	u.metDrops = obs.NewCounter(fmt.Sprintf("ran.ue.%d.drops", id))
 	r.ues = append(r.ues, u)
 	return u
 }
@@ -298,6 +318,13 @@ func (r *RAN) transmitTB(u *UE, tbs units.ByteCount, kind telemetry.GrantKind, s
 		id: r.nextTBID, ue: u, tbs: tbs, used: used, kind: kind,
 		segs: segs, firstAt: slotAt, ids: ids,
 	}
+	if int(kind) < len(metGrantsByKind) {
+		metGrantsByKind[kind].Inc()
+	}
+	if used < tbs {
+		metTBOvergranted.Inc()
+		metTBWastedBytes.Add(int64(tbs - used))
+	}
 	r.attempt(tb, 0, slotAt)
 	return used
 }
@@ -317,6 +344,9 @@ type transportBlock struct {
 // attempt transmits the TB (round = HARQ round) and schedules either
 // delivery or a retransmission.
 func (r *RAN) attempt(tb *transportBlock, round int, at time.Duration) {
+	if round > 0 {
+		metHARQRetx.Inc()
+	}
 	failed := r.rng.Float64() < r.effectiveBLER()
 	canRetry := round < r.Cfg.MaxHARQ
 	r.Telemetry.Add(telemetry.TBRecord{
@@ -338,6 +368,8 @@ func (r *RAN) attempt(tb *transportBlock, round int, at time.Duration) {
 				s.entry.pkt.GroundTruth.Dropped = true
 				r.Drops++
 				tb.ue.Drops++
+				metDrops.Inc()
+				tb.ue.metDrops.Inc()
 			}
 		}
 		return

@@ -3,6 +3,7 @@ package ran
 import (
 	"time"
 
+	"athena/internal/obs"
 	"athena/internal/packet"
 	"athena/internal/rtp"
 	"athena/internal/units"
@@ -83,8 +84,10 @@ type UE struct {
 	pred        *predictor
 
 	// Drops counts this UE's packets abandoned after HARQ exhaustion
-	// (the cell-wide total is RAN.Drops).
-	Drops int
+	// (the cell-wide total is RAN.Drops). metDrops mirrors it into the
+	// obs registry as ran.ue.<id>.drops.
+	Drops    int
+	metDrops *obs.Counter
 
 	// Downlink delivery handler (packets arriving from the network to
 	// this UE's host).

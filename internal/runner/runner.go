@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"athena/internal/obs"
 	"athena/internal/scenario"
 )
 
@@ -46,6 +48,56 @@ type Pool struct {
 	cache map[string]*entry
 
 	runFn func(scenario.Config) *scenario.Result // seam for tests
+
+	met poolMetrics
+}
+
+// poolMetrics holds a pool's instrumentation. The metrics are value
+// types embedded in the Pool, so private pools get working Stats without
+// polluting the global registry; only Default's are registered by name.
+// Recording is gated by the obs package flag, so an un-observed process
+// pays one atomic load per event.
+type poolMetrics struct {
+	submissions obs.Counter
+	memoHits    obs.Counter
+	memoMisses  obs.Counter
+	flushes     obs.Counter
+	inFlight    obs.Gauge
+	queueWait   obs.Histogram // claim → worker start, ns
+	runDur      obs.Histogram // runFn wall time, ns
+}
+
+// The shared Default pool's metrics appear in registry snapshots under
+// runner.default.*.
+func init() {
+	obs.RegisterCounter("runner.default.submissions", &Default.met.submissions)
+	obs.RegisterCounter("runner.default.memo_hits", &Default.met.memoHits)
+	obs.RegisterCounter("runner.default.memo_misses", &Default.met.memoMisses)
+	obs.RegisterCounter("runner.default.flushes", &Default.met.flushes)
+	obs.RegisterGauge("runner.default.in_flight", &Default.met.inFlight)
+	obs.RegisterHistogram("runner.default.queue_wait_ns", &Default.met.queueWait)
+	obs.RegisterHistogram("runner.default.run_duration_ns", &Default.met.runDur)
+}
+
+// Stats is a point-in-time read of a pool's execution counters. Values
+// accumulate only while obs metrics are enabled (see obs.Enable).
+type Stats struct {
+	Submissions int64 // configs submitted through RunAll (duplicates included)
+	MemoHits    int64 // submissions satisfied by the cache or batch dedup
+	MemoMisses  int64 // submissions that claimed a fresh execution
+	InFlight    int64 // runs currently executing on workers
+	Flushes     int64 // Flush calls
+}
+
+// Stats reads the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Submissions: p.met.submissions.Value(),
+		MemoHits:    p.met.memoHits.Value(),
+		MemoMisses:  p.met.memoMisses.Value(),
+		InFlight:    p.met.inFlight.Value(),
+		Flushes:     p.met.flushes.Value(),
+	}
 }
 
 // entry is one memoized run. res is written exactly once, before done is
@@ -99,6 +151,7 @@ func (p *Pool) RunAll(ctx context.Context, cfgs []scenario.Config) []*scenario.R
 
 	// Claim cache entries under one lock pass: the first batch to see a
 	// key owns its execution, later arrivals only wait on done.
+	p.met.submissions.Add(int64(len(cfgs)))
 	entries := make([]*entry, len(cfgs))
 	var jobs []job
 	p.mu.Lock()
@@ -109,6 +162,9 @@ func (p *Pool) RunAll(ctx context.Context, cfgs []scenario.Config) []*scenario.R
 			e = &entry{done: make(chan struct{})}
 			p.cache[k] = e
 			jobs = append(jobs, job{key: k, cfg: cfg, e: e})
+			p.met.memoMisses.Inc()
+		} else {
+			p.met.memoHits.Inc()
 		}
 		entries[i] = e
 	}
@@ -116,6 +172,10 @@ func (p *Pool) RunAll(ctx context.Context, cfgs []scenario.Config) []*scenario.R
 
 	var wg sync.WaitGroup
 	submitted := 0
+	claimedAt := time.Time{}
+	if obs.Enabled() {
+		claimedAt = time.Now()
+	}
 	for _, j := range jobs {
 		select {
 		case <-ctx.Done():
@@ -125,7 +185,19 @@ func (p *Pool) RunAll(ctx context.Context, cfgs []scenario.Config) []*scenario.R
 			go func(j job) {
 				defer wg.Done()
 				defer func() { <-p.sem }()
+				var start time.Time
+				if obs.Enabled() {
+					start = time.Now()
+					if !claimedAt.IsZero() {
+						p.met.queueWait.ObserveDuration(start.Sub(claimedAt))
+					}
+				}
+				p.met.inFlight.Add(1)
 				j.e.res = p.runFn(j.cfg)
+				p.met.inFlight.Add(-1)
+				if !start.IsZero() {
+					p.met.runDur.ObserveDuration(time.Since(start))
+				}
 				close(j.e.done)
 			}(j)
 			continue
@@ -200,6 +272,7 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) {
 // forgets finished work. Long-lived processes sweeping many distinct
 // configs call this between sweeps to bound memory.
 func (p *Pool) Flush() {
+	p.met.flushes.Inc()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for k, e := range p.cache {

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/obs"
+)
+
+// BenchmarkSimScheduleFireObs is BenchmarkSimScheduleFire with metric
+// collection enabled: the delta against the plain benchmark is the
+// instrumentation overhead of the engine's counters (still 0 allocs/op).
+func BenchmarkSimScheduleFireObs(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	s := New(1)
+	n := 0
+	fn := func() { n++ }
+	s.After(time.Microsecond, fn)
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Run()
+	}
+	if n != b.N+1 {
+		b.Fatalf("dispatched %d of %d", n, b.N+1)
+	}
+}

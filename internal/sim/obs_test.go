@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/obs"
+)
+
+// TestScheduleFireNoAllocsObsEnabled extends the steady-state guarantee
+// to instrumented runs: the engine's counters are plain atomics, so the
+// schedule/fire cycle stays allocation-free even while metrics record.
+func TestScheduleFireNoAllocsObsEnabled(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	s := New(1)
+	fn := func() {}
+	s.After(time.Microsecond, fn)
+	s.Run() // warm the free list and heap capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented schedule/fire allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEngineMetricsRecord checks the event-loop counters move when
+// enabled and stay frozen when disabled.
+func TestEngineMetricsRecord(t *testing.T) {
+	fired := obs.NewCounter("sim.events_fired")
+	depth := obs.NewGauge("sim.heap_depth_max")
+
+	before := fired.Value()
+	s := New(42)
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if fired.Value() != before {
+		t.Fatal("disabled run moved the fired counter")
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	s2 := New(42)
+	for i := 0; i < 10; i++ {
+		s2.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s2.Run()
+	if got := fired.Value() - before; got != 10 {
+		t.Fatalf("fired counter moved by %d, want 10", got)
+	}
+	if depth.Value() < 1 {
+		t.Fatalf("heap depth watermark = %d, want >= 1", depth.Value())
+	}
+}

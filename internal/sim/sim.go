@@ -21,6 +21,18 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"athena/internal/obs"
+)
+
+// Engine metrics, aggregated across every Simulator in the process (the
+// runner pool fans many out concurrently). All record calls are no-ops
+// until obs.Enable, and none of them touch simulation RNG streams or
+// event ordering, so instrumentation can never change a run's digest.
+var (
+	metEventsFired = obs.NewCounter("sim.events_fired")
+	metCompactions = obs.NewCounter("sim.compactions")
+	metHeapDepth   = obs.NewGauge("sim.heap_depth_max")
 )
 
 // event is a scheduled callback. Records are pooled: gen increments each
@@ -128,6 +140,7 @@ func (s *Simulator) release(e *event) {
 func (s *Simulator) push(e *event) {
 	s.heap = append(s.heap, e)
 	s.siftUp(len(s.heap) - 1)
+	metHeapDepth.Max(int64(len(s.heap)))
 }
 
 // pop removes and returns the earliest event.
@@ -208,6 +221,7 @@ func (s *Simulator) maybeCompact() {
 		h[i] = nil
 	}
 	s.heap = h[:j]
+	metCompactions.Inc()
 	if j == 0 {
 		return
 	}
@@ -299,6 +313,7 @@ func (s *Simulator) RunUntil(horizon time.Duration) {
 		s.now = e.at
 		fn := e.fn
 		s.release(e)
+		metEventsFired.Inc()
 		fn()
 	}
 	if s.now < horizon {
@@ -318,6 +333,7 @@ func (s *Simulator) Run() {
 		s.now = e.at
 		fn := e.fn
 		s.release(e)
+		metEventsFired.Inc()
 		fn()
 	}
 }
