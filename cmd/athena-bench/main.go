@@ -62,9 +62,41 @@ func main() {
 	out := flag.String("out", "", "directory to also write per-figure CSV data into")
 	parallel := flag.Int("parallel", 1, "number of experiments to regenerate concurrently")
 	verbose := flag.Bool("v", false, "print runner pool statistics after the sweep")
+	cells := flag.Int("cells", 0, "multi-cell scale mode: number of cells (bypasses the experiment sweep)")
+	ues := flag.Int("ues", 0, "multi-cell scale mode: number of UEs, spread round-robin over -cells")
+	handovers := flag.Int("handovers", 1, "scale mode: UEs given one scripted mid-run handover")
+	scaleOut := flag.String("scale-out", "", "scale mode: write the serial-vs-sharded scale report JSON here")
 	prof := profiling.AddFlags(flag.CommandLine)
 	obsFlags := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *cells > 0 || *ues > 0 {
+		stopProf, err := profiling.StartConfig(*prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopProf()
+		obs.Enable() // barrier-wait histograms feed the scale report
+		stopObs, err := obsFlags.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runScale(scaleParams{
+			UEs:       *ues,
+			Cells:     *cells,
+			Handovers: *handovers,
+			Seed:      *seed,
+			Scale:     *scale,
+			Out:       *scaleOut,
+			Verbose:   *verbose,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := stopObs(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sel, err := experiment.Select(experiment.Selection{
 		IDs:   splitCSV(*only),

@@ -1,0 +1,164 @@
+// Multi-cell scale mode: -cells/-ues bypass the experiment sweep and
+// run one multi-cell topology twice — serial shard advancement, then
+// parallel on the gang — verifying the digests match byte for byte and
+// reporting UEs/sec throughput for both modes plus the barrier-wait
+// histograms from the obs registry. -scale-out writes the comparison as
+// JSON (the BENCH_scale.json artifact).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"athena/internal/obs"
+	"athena/internal/scenario"
+)
+
+// scaleParams configures one scale-mode comparison run.
+type scaleParams struct {
+	UEs       int
+	Cells     int
+	Handovers int // UEs given one scripted mid-run handover
+	Seed      int64
+	Scale     float64 // duration multiplier over the 10 s base
+	Out       string  // JSON report path ("" skips the write)
+	Verbose   bool
+}
+
+// scaleModeReport is one execution mode's throughput measurement.
+// UESecPerSec is UEs × simulated seconds per wall second — the
+// scale-invariant unit BenchmarkTopologyScale reports.
+type scaleModeReport struct {
+	WallSec     float64 `json:"wall_sec"`
+	UESecPerSec float64 `json:"ue_sec_per_sec"`
+}
+
+// shardBarrierReport is one shard's barrier-wait histogram: how long the
+// shard sat quiesced at each window barrier waiting for its peers.
+type shardBarrierReport struct {
+	Shard int `json:"shard"`
+	obs.HistSnapshot
+}
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	UEs         int     `json:"ues"`
+	Cells       int     `json:"cells"`
+	HandoverUEs int     `json:"handover_ues"`
+	DurationSec float64 `json:"duration_sec"`
+	Seed        int64   `json:"seed"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Shards      int     `json:"shards"`
+	Digest      string  `json:"digest"`
+
+	Serial  scaleModeReport `json:"serial"`
+	Sharded scaleModeReport `json:"sharded"`
+	Speedup float64         `json:"speedup"`
+
+	// BarrierWait is the per-shard wait distribution (ns) from the
+	// parallel run; BarrierWaitAll aggregates every shard.
+	BarrierWait    []shardBarrierReport `json:"barrier_wait"`
+	BarrierWaitAll obs.HistSnapshot     `json:"barrier_wait_all"`
+}
+
+// scaleTopology builds the scale-mode deployment: UEs round-robin over
+// Cells, with the first Handovers UEs scripted to hand over halfway
+// through the run to their paired cell (2k ↔ 2k+1). Pairing — rather
+// than, say, hopping to the next cell — keeps the handover domains
+// small: cells merge at most two at a time, so the run stays sharded
+// instead of collapsing into one engine.
+func scaleTopology(p scaleParams, dur time.Duration) scenario.Topology {
+	top := scenario.NewMultiCellTopology(p.UEs, p.Cells)
+	top.Seed = p.Seed
+	top.Duration = dur
+	for i := 0; i < p.Handovers && i < p.UEs; i++ {
+		partner := top.UEs[i].Cell ^ 1
+		if partner >= p.Cells {
+			continue // odd cell count: the last cell has no pair
+		}
+		top.UEs[i].Handovers = []scenario.Handover{{At: dur / 2, ToCell: partner}}
+	}
+	return top
+}
+
+// runScale executes the serial-vs-sharded comparison. It returns an
+// error — and the caller exits nonzero — if the two digests diverge,
+// which is the CI smoke check for the determinism claim.
+func runScale(p scaleParams) error {
+	if p.UEs <= 0 {
+		p.UEs = 100
+	}
+	if p.Cells <= 0 {
+		p.Cells = 4
+	}
+	dur := time.Duration(float64(10*time.Second) * p.Scale)
+	fmt.Printf("scale mode: %d UEs / %d cells, %v simulated, seed %d, %d handover UEs\n",
+		p.UEs, p.Cells, dur, p.Seed, p.Handovers)
+
+	run := func(serial bool) (string, int, scaleModeReport) {
+		top := scaleTopology(p, dur)
+		top.Serial = serial
+		start := time.Now()
+		tr := scenario.RunTopology(top)
+		wall := time.Since(start)
+		m := scaleModeReport{
+			WallSec:     wall.Seconds(),
+			UESecPerSec: float64(p.UEs) * dur.Seconds() / wall.Seconds(),
+		}
+		return tr.Digest(), len(tr.Shards), m
+	}
+
+	serialDigest, shards, serial := run(true)
+	fmt.Printf("  serial:  %7.2fs wall  %8.1f UE-sec/s\n", serial.WallSec, serial.UESecPerSec)
+	shardedDigest, _, sharded := run(false)
+	fmt.Printf("  sharded: %7.2fs wall  %8.1f UE-sec/s  (%d shards, GOMAXPROCS=%d)\n",
+		sharded.WallSec, sharded.UESecPerSec, shards, runtime.GOMAXPROCS(0))
+	if serialDigest != shardedDigest {
+		return fmt.Errorf("digest mismatch: serial %s != sharded %s", serialDigest, shardedDigest)
+	}
+	speedup := sharded.UESecPerSec / serial.UESecPerSec
+	fmt.Printf("  digests match (%s), speedup %.2fx\n", serialDigest[:16], speedup)
+
+	rep := scaleReport{
+		UEs:            p.UEs,
+		Cells:          p.Cells,
+		HandoverUEs:    p.Handovers,
+		DurationSec:    dur.Seconds(),
+		Seed:           p.Seed,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Shards:         shards,
+		Digest:         serialDigest,
+		Serial:         serial,
+		Sharded:        sharded,
+		Speedup:        speedup,
+		BarrierWaitAll: obs.NewHistogram("sim.barrier_wait_ns").Snapshot(),
+	}
+	for i := 0; i < shards; i++ {
+		h := obs.NewHistogram(fmt.Sprintf("sim.shard%d.barrier_wait_ns", i))
+		rep.BarrierWait = append(rep.BarrierWait, shardBarrierReport{Shard: i, HistSnapshot: h.Snapshot()})
+	}
+	if p.Verbose {
+		for _, bw := range rep.BarrierWait {
+			fmt.Printf("  shard %d barrier wait: n=%-6d p50=%-10v p99=%v\n",
+				bw.Shard, bw.Count, time.Duration(bw.P50), time.Duration(bw.P99))
+		}
+		fmt.Printf("  all shards barrier wait: n=%-6d p50=%-10v p99=%v\n",
+			rep.BarrierWaitAll.Count, time.Duration(rep.BarrierWaitAll.P50),
+			time.Duration(rep.BarrierWaitAll.P99))
+	}
+
+	if p.Out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.Out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote scale report %s\n", p.Out)
+	}
+	return nil
+}

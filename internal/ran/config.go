@@ -41,6 +41,23 @@ func (d Duplex) String() string {
 // Config parameterizes the cell. Values default (via Defaults) to the
 // paper's private 5G setup.
 type Config struct {
+	// CellID identifies this cell in a multi-cell deployment. It
+	// namespaces per-cell observability (ran.cell<id>.ue<n>.drops) and
+	// the TB ID space (the top 16 bits of every TBID), so telemetry
+	// merged across cells never conflates two cells' transport blocks.
+	// Single-cell scenarios leave it zero, which keeps their TBIDs
+	// byte-identical to the historical single-cell numbering.
+	CellID uint32
+
+	// InterferenceCoupling scales how strongly neighbor-cell uplink load
+	// depresses this cell's usable capacity: effective slot capacity is
+	// divided by (1 + InterferenceCoupling × externalLoad), where
+	// externalLoad is the neighbor utilization reported via
+	// SetExternalLoad (in a sharded run, at each sync barrier). Zero
+	// disables the term entirely — the capacity math is then bit-for-bit
+	// the single-cell computation.
+	InterferenceCoupling float64
+
 	// Duplex selects TDD (default) or FDD uplink multiplexing.
 	Duplex Duplex
 	// SlotDuration is one NR slot (0.5 ms at 30 kHz SCS). Different

@@ -3,6 +3,7 @@ package ran
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"athena/internal/obs"
@@ -54,6 +55,14 @@ type RAN struct {
 	dlBusyTil time.Duration
 
 	nextTBID uint64
+
+	// extLoad is the neighbor-cell uplink utilization last reported by
+	// the multi-cell coordinator (SetExternalLoad at a sync barrier);
+	// with Cfg.InterferenceCoupling it depresses effective capacity.
+	extLoad float64
+	// grantedBytes accumulates every TB allocation (TB size, not payload)
+	// so the coordinator can compute per-window cell utilization.
+	grantedBytes units.ByteCount
 
 	// Drops counts packets abandoned after HARQ exhaustion.
 	Drops int
@@ -120,24 +129,122 @@ func (r *RAN) effectiveBLER() float64 {
 }
 
 // effectiveCapacity is the current per-slot byte budget (fades reduce the
-// usable MCS).
+// usable MCS; neighbor-cell load adds interference headroom loss).
 func (r *RAN) effectiveCapacity() units.ByteCount {
 	c := r.Cfg.SlotCapacity()
 	if r.faded && r.Cfg.FadeCapacityFactor > 0 {
 		c = units.ByteCount(float64(c) * r.Cfg.FadeCapacityFactor)
 	}
+	if r.Cfg.InterferenceCoupling > 0 && r.extLoad > 0 {
+		c = units.ByteCount(float64(c) / (1 + r.Cfg.InterferenceCoupling*r.extLoad))
+	}
 	return c
 }
+
+// SetExternalLoad reports the aggregate uplink utilization of neighboring
+// cells (0 = idle neighbors, 1 = a fully loaded neighbor). In a sharded
+// run the coordinator refreshes it at every sync barrier from the other
+// cells' granted-byte counters; it only matters when
+// Cfg.InterferenceCoupling is nonzero.
+func (r *RAN) SetExternalLoad(l float64) { r.extLoad = l }
+
+// GrantedBytes reports the cumulative bytes of uplink TB allocations this
+// cell has issued (allocation size, not payload carried). Utilization
+// over a window is the delta divided by BytesOver(CellULRate, window).
+func (r *RAN) GrantedBytes() units.ByteCount { return r.grantedBytes }
 
 // AttachUE registers a mobile with the given scheduling strategy and
 // returns it.
 func (r *RAN) AttachUE(id uint32, sched SchedulerKind) *UE {
 	u := &UE{ID: id, Sched: sched, ran: r, Downlink: packet.Discard}
 	// NewCounter dedups by name, so re-attaching the same UE ID across
-	// scenario runs keeps accumulating into one per-UE drop counter.
-	u.metDrops = obs.NewCounter(fmt.Sprintf("ran.ue.%d.drops", id))
+	// scenario runs keeps accumulating into one per-UE drop counter. The
+	// name is keyed by cell so concurrent engines in a multi-cell run
+	// record into disjoint series.
+	u.metDrops = obs.NewCounter(fmt.Sprintf("ran.cell%d.ue%d.drops", r.Cfg.CellID, id))
 	r.ues = append(r.ues, u)
 	return u
+}
+
+// Detach removes u from the cell — the source side of a handover. It
+// clears every piece of cell-resident scheduler state for the UE:
+// pending and current-slot grants are discarded, the BSR accounting is
+// zeroed, and the HARQ processes are reset — in-flight retransmissions
+// are cancelled and the bytes they carried return to the uplink buffer
+// in original FIFO order (the target cell retransmits them from
+// scratch; X2-style forwarding of decoded partial TBs is not modeled).
+// The learned app-aware/predictive models stay behind too: the target
+// gNB must re-learn the UE's cadence. The UE keeps pointing at this
+// cell (for clock/config access on late packet arrivals) until
+// AttachExisting rebinds it; in between it receives no grants, which is
+// exactly the handover grant gap.
+func (r *RAN) Detach(u *UE) {
+	for i, x := range r.ues {
+		if x == u {
+			r.ues = append(r.ues[:i], r.ues[i+1:]...)
+			// Keep the round-robin pointer on the UE it was pointing at
+			// so the departure does not skip anyone's turn.
+			if r.rrStart > i {
+				r.rrStart--
+			}
+			break
+		}
+	}
+	if n := len(r.ues); n > 0 {
+		r.rrStart %= n
+	} else {
+		r.rrStart = 0
+	}
+	kept := r.pendingGrants[:0]
+	for _, g := range r.pendingGrants {
+		if g.ue != u {
+			kept = append(kept, g)
+		}
+	}
+	r.pendingGrants = kept
+	u.slotGrants = u.slotGrants[:0]
+	u.outstanding = 0
+
+	// HARQ reset. Only TBs awaiting a retransmission are in flight (the
+	// initial attempt is synchronous and successes resolve immediately),
+	// so cancelling u.retx accounts for every undelivered segment
+	// exactly once: each seg's bytes go back to its entry, and entries
+	// that had left the buffer as fully segmented re-enter it.
+	reinserted := false
+	for _, tb := range u.retx {
+		tb.retry.Stop()
+		for _, s := range tb.segs {
+			e := s.entry
+			if e.abandoned {
+				continue
+			}
+			e.remaining += s.bytes
+			u.bufBytes += s.bytes
+			e.pendingTBs--
+			if e.fullySegmented {
+				e.fullySegmented = false
+				u.buf = append(u.buf, e)
+				reinserted = true
+			}
+		}
+	}
+	u.retx = u.retx[:0]
+	if reinserted {
+		sort.Slice(u.buf, func(i, j int) bool { return u.buf[i].seq < u.buf[j].seq })
+	}
+	u.app = nil
+	u.pred = nil
+}
+
+// AttachExisting adopts an already-constructed UE — the target side of a
+// handover. The UE keeps its buffer (the buffered-data transfer has
+// completed by the time the scenario layer calls this) and its identity;
+// scheduling state starts fresh, and its drop counter rehomes to this
+// cell's namespace.
+func (r *RAN) AttachExisting(u *UE) {
+	u.ran = r
+	u.metDrops = obs.NewCounter(fmt.Sprintf("ran.cell%d.ue%d.drops", r.Cfg.CellID, u.ID))
+	r.ues = append(r.ues, u)
 }
 
 // SendDownlink delivers p to the UE's host over the downlink. The paper
@@ -314,10 +421,14 @@ func (r *RAN) transmitTB(u *UE, tbs units.ByteCount, kind telemetry.GrantKind, s
 		ids = append(ids, s.entry.pkt.ID)
 	}
 	r.nextTBID++
+	// The cell ID occupies the top 16 bits so telemetry merged across
+	// cells keeps every TBID globally unique (cell 0 numbering is the
+	// historical single-cell sequence, unchanged).
 	tb := &transportBlock{
-		id: r.nextTBID, ue: u, tbs: tbs, used: used, kind: kind,
+		id: r.nextTBID | uint64(r.Cfg.CellID)<<48, ue: u, tbs: tbs, used: used, kind: kind,
 		segs: segs, firstAt: slotAt, ids: ids,
 	}
+	r.grantedBytes += tbs
 	if int(kind) < len(metGrantsByKind) {
 		metGrantsByKind[kind].Inc()
 	}
@@ -339,6 +450,9 @@ type transportBlock struct {
 	segs    []segment
 	ids     []uint64
 	firstAt time.Duration
+	// retry is the pending HARQ retransmission timer, valid while the TB
+	// sits in its UE's retx set; Detach stops it to reset HARQ state.
+	retry sim.Timer
 }
 
 // attempt transmits the TB (round = HARQ round) and schedules either
@@ -356,8 +470,15 @@ func (r *RAN) attempt(tb *transportBlock, round int, at time.Duration) {
 	})
 	if failed && canRetry {
 		// The base station mandates retransmission even of empty TBs
-		// (§3.2), so the retry is scheduled unconditionally.
-		r.sim.At(at+r.Cfg.HARQRTT, func() { r.attempt(tb, round+1, at+r.Cfg.HARQRTT) })
+		// (§3.2), so the retry is scheduled unconditionally. The TB is
+		// tracked in its UE's retx set until the retry fires, so a
+		// handover in the gap can cancel it.
+		next := at + r.Cfg.HARQRTT
+		tb.retry = r.sim.At(next, func() {
+			tb.ue.untrackRetx(tb)
+			r.attempt(tb, round+1, next)
+		})
+		tb.ue.trackRetx(tb)
 		return
 	}
 	if failed {

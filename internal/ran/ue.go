@@ -51,6 +51,10 @@ type bufEntry struct {
 	pkt        *packet.Packet
 	remaining  units.ByteCount
 	enqueuedAt time.Duration
+	// seq is the per-UE enqueue sequence number. A handover's HARQ reset
+	// returns partially transmitted entries to the buffer; sorting by seq
+	// restores the original FIFO order exactly.
+	seq uint64
 
 	// transmission bookkeeping
 	pendingTBs     int           // TB transmissions in flight carrying segments
@@ -83,6 +87,15 @@ type UE struct {
 	app         *appAwareState
 	pred        *predictor
 
+	// enqSeq numbers buffer entries in arrival order (see bufEntry.seq).
+	enqSeq uint64
+	// retx tracks TBs with a HARQ retransmission pending, so a handover
+	// can cancel them and return their bytes to the buffer. A TB joins
+	// when a retry is scheduled and leaves when that retry fires; the
+	// initial attempt is synchronous, so an empty retx set means no TB
+	// for this UE is in flight at all.
+	retx []*transportBlock
+
 	// Drops counts this UE's packets abandoned after HARQ exhaustion
 	// (the cell-wide total is RAN.Drops). metDrops mirrors it into the
 	// obs registry as ran.ue.<id>.drops.
@@ -107,7 +120,8 @@ func (u *UE) Handle(p *packet.Packet) {
 	if th := u.ran.Cfg.ECNThreshold; th > 0 && u.bufBytes > th && p.ECN != packet.ECNNotECT {
 		p.ECN = packet.ECNCE
 	}
-	e := &bufEntry{pkt: p, remaining: p.Size, enqueuedAt: now}
+	e := &bufEntry{pkt: p, remaining: p.Size, enqueuedAt: now, seq: u.enqSeq}
+	u.enqSeq++
 	u.buf = append(u.buf, e)
 	u.bufBytes += p.Size
 	if rp, ok := p.Payload.(*rtp.Packet); ok && rp.HasMeta {
@@ -125,6 +139,22 @@ type segment struct {
 	entry *bufEntry
 	bytes units.ByteCount
 	last  bool // carries the packet's final byte
+}
+
+// trackRetx registers a TB whose HARQ retransmission timer is pending.
+func (u *UE) trackRetx(tb *transportBlock) {
+	u.retx = append(u.retx, tb)
+}
+
+// untrackRetx removes tb from the pending-retransmission set (its retry
+// fired, or a handover cancelled it).
+func (u *UE) untrackRetx(tb *transportBlock) {
+	for i, x := range u.retx {
+		if x == tb {
+			u.retx = append(u.retx[:i], u.retx[i+1:]...)
+			return
+		}
+	}
 }
 
 // fill carves up to tbs bytes from the head of the buffer, marking

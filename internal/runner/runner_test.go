@@ -262,3 +262,32 @@ func TestFlush(t *testing.T) {
 		t.Fatal("Flush should force re-execution")
 	}
 }
+
+// A pool worker executing a sharded multi-cell RunTopology must
+// complete even on a single-worker pool: the shard gang runs on its own
+// goroutines in internal/sim, not by submitting back into the pool, so
+// holding a worker slot for the whole topology run cannot starve the
+// shards of each other (the nested-submission deadlock ForEach's
+// contract warns about). Guards the fan-out layering of the sharded
+// engine; run under -race in CI.
+func TestForEachShardedTopologyNoStarvation(t *testing.T) {
+	p := New(1) // one slot: any nested submission would deadlock
+	done := make(chan string, 1)
+	go func() {
+		var d string
+		p.ForEach(context.Background(), 1, func(int) {
+			top := scenario.NewMultiCellTopology(4, 2)
+			top.Duration = 500 * time.Millisecond
+			d = scenario.RunTopology(top).Digest()
+		})
+		done <- d
+	}()
+	select {
+	case d := <-done:
+		if d == "" {
+			t.Fatal("sharded topology produced an empty digest")
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("sharded RunTopology starved inside a single-worker pool")
+	}
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// shortShardedTopology builds a 6-UE / 3-cell topology with inter-cell
+// interference coupling and one UE that hands over between cells 2 and
+// 1 mid-run. The handover unites cells 1 and 2 into one domain while
+// cell 0 stays independent, so the plan has two shards — parallel
+// advancement is genuinely exercised alongside the handover and the
+// coupling exchange.
+func shortShardedTopology(seed int64) Topology {
+	top := NewMultiCellTopology(6, 3)
+	top.Seed = seed
+	top.Duration = 3 * time.Second
+	top.InterferenceCoupling = 0.3
+	top.UEs[5].Handovers = []Handover{{At: 1200 * time.Millisecond, ToCell: 1}}
+	return top
+}
+
+// TestShardedDigestsMatchSerial is the golden determinism claim of the
+// sharded engine: serial and parallel shard advancement must produce
+// byte-identical digests, across seeds, with interference coupling and
+// a handover in play.
+func TestShardedDigestsMatchSerial(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		serialTop := shortShardedTopology(seed)
+		serialTop.Serial = true
+		serial := RunTopology(serialTop).Digest()
+
+		parTop := shortShardedTopology(seed)
+		parTop.Serial = false
+		parallel := RunTopology(parTop).Digest()
+
+		if serial != parallel {
+			t.Fatalf("seed %d: serial digest %s != parallel digest %s", seed, serial, parallel)
+		}
+	}
+}
+
+// TestSingleCellShardedMatchesLegacy pins that cells=1 routed through
+// the windowed shard engine reproduces the legacy single-cell engine
+// byte for byte — the windows, the barrier machinery and the shard
+// plumbing are execution-only.
+func TestSingleCellShardedMatchesLegacy(t *testing.T) {
+	legacyTop := shortMultiTopology(3)
+	legacy := RunTopology(legacyTop)
+
+	shardedTop := shortMultiTopology(3)
+	shardedTop.Cells = []CellSpec{{}}
+	sharded := RunTopology(shardedTop)
+
+	if len(sharded.Shards) != 1 {
+		t.Fatalf("one-cell topology produced %d shards, want 1", len(sharded.Shards))
+	}
+	if got, want := sharded.Digest(), legacy.Digest(); got != want {
+		t.Fatalf("one-cell sharded digest %s != legacy digest %s", got, want)
+	}
+}
+
+// TestShardedTopologyCorrelates checks the end-to-end semantics of a
+// static multi-cell run: every UE correlates packets over only its own
+// flows, every UE delivers media, cells map to shards one-to-one when
+// nothing hands over, and per-cell telemetry stays disjoint (TBID
+// namespaces included).
+func TestShardedTopologyCorrelates(t *testing.T) {
+	top := NewMultiCellTopology(4, 2)
+	top.Duration = 3 * time.Second
+	tr := RunTopology(top)
+
+	if len(tr.Shards) != 2 {
+		t.Fatalf("static 2-cell topology produced %d shards, want 2", len(tr.Shards))
+	}
+	if len(tr.UEs) != 4 {
+		t.Fatalf("got %d UE results, want 4", len(tr.UEs))
+	}
+	for i, u := range tr.UEs {
+		if u == nil {
+			t.Fatalf("UE %d missing from assembled result", i)
+		}
+		own := make(map[uint32]bool)
+		for _, f := range u.Flows.All() {
+			own[f] = true
+		}
+		if len(u.Report.Packets) == 0 {
+			t.Fatalf("UE %d correlated zero packets", i)
+		}
+		delivered := 0
+		for _, v := range u.Report.Packets {
+			if !own[v.Flow] {
+				t.Fatalf("UE %d report contains foreign flow %d", i, v.Flow)
+			}
+			if v.SeenCore && v.SeenRecv {
+				delivered++
+			}
+			for _, id := range v.TBIDs {
+				if cell := uint32(id >> 48); int(cell) != i%2 {
+					t.Fatalf("UE %d (home cell %d) carried by TB %#x of cell %d", i, i%2, id, cell)
+				}
+			}
+		}
+		if delivered == 0 {
+			t.Fatalf("UE %d delivered zero packets end to end", i)
+		}
+	}
+	// Shard structure: shard 0 owns cell 0, shard 1 owns cell 1, and the
+	// legacy aliases point at shard 0.
+	for si, sr := range tr.Shards {
+		if len(sr.Cells) != 1 || sr.Cells[0] != si {
+			t.Fatalf("shard %d owns cells %v, want [%d]", si, sr.Cells, si)
+		}
+		if len(sr.RANs) != 1 || sr.RANs[0] == nil {
+			t.Fatalf("shard %d has RANs %v", si, sr.RANs)
+		}
+		if sr.Prober == nil || len(sr.Prober.Results) == 0 {
+			t.Fatalf("shard %d prober collected nothing", si)
+		}
+	}
+	if tr.Sim != tr.Shards[0].Sim || tr.RAN != tr.Shards[0].RANs[0] {
+		t.Fatal("legacy result aliases do not point at shard 0")
+	}
+}
+
+// TestShardedHandoverDelivers checks a handover UE keeps its session: it
+// delivers media both before and after the scripted cell change, and its
+// packet stream carries TBs from both cells.
+func TestShardedHandoverDelivers(t *testing.T) {
+	top := shortShardedTopology(5)
+	top.Serial = true
+	tr := RunTopology(top)
+
+	u := tr.UEs[5] // home cell 2, hands over to cell 1
+	ho := top.UEs[5].Handovers[0].At
+	var before, after int
+	cellsSeen := map[uint32]bool{}
+	for _, v := range u.Report.Packets {
+		if !v.SeenCore || !v.SeenRecv {
+			continue
+		}
+		if v.SentAt < ho {
+			before++
+		} else {
+			after++
+		}
+		for _, id := range v.TBIDs {
+			cellsSeen[uint32(id>>48)] = true
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatalf("handover UE delivered before=%d after=%d packets", before, after)
+	}
+	if !cellsSeen[2] || !cellsSeen[1] {
+		t.Fatalf("handover UE's TBs span cells %v, want both 2 and 1", cellsSeen)
+	}
+	// The handover united cells 1 and 2 into one shard; cell 0 is alone.
+	if len(tr.Shards) != 2 {
+		t.Fatalf("handover topology produced %d shards, want 2", len(tr.Shards))
+	}
+	if got := tr.Shards[1].Cells; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("united shard owns cells %v, want [1 2]", got)
+	}
+}
+
+// TestInterferenceCouplingHasEffect guards the coupling term against
+// silently becoming a no-op: the same deployment with and without
+// coupling must diverge (neighbor load shrinks capacity), while
+// coupling zero must keep the barrier entirely out of the event stream.
+func TestInterferenceCouplingHasEffect(t *testing.T) {
+	with := shortShardedTopology(3)
+	without := shortShardedTopology(3)
+	without.InterferenceCoupling = 0
+	if RunTopology(with).Digest() == RunTopology(without).Digest() {
+		t.Fatal("interference coupling changed nothing — the capacity term is dead")
+	}
+}
+
+// TestShardedDeterministicAcrossRuns: two identical parallel runs agree
+// — the gang's wall-clock scheduling must leak nothing into the digest.
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	a := RunTopology(shortShardedTopology(42)).Digest()
+	b := RunTopology(shortShardedTopology(42)).Digest()
+	if a != b {
+		t.Fatalf("two parallel sharded runs diverged: %s vs %s", a, b)
+	}
+}

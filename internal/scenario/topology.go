@@ -57,6 +57,16 @@ type UESpec struct {
 	SenderClockOffset   time.Duration
 	ReceiverClockOffset time.Duration
 	EstimateOffsets     bool
+
+	// Cell is the index into Topology.Cells this UE initially attaches
+	// to. Only meaningful when Cells is non-empty; must be zero (with no
+	// Handovers) on a single-cell topology.
+	Cell int
+	// Handovers scripts cell changes for this UE. Every target cell is
+	// pulled into the UE's handover domain, so all cells a UE can visit
+	// share one simulation shard (endpoint pipelines cannot migrate
+	// across engines; see DESIGN.md "Sharded simulation").
+	Handovers []Handover
 }
 
 // Topology describes a composable testbed: N VCA UEs, each with its own
@@ -88,6 +98,35 @@ type Topology struct {
 	ProbeInterval time.Duration
 
 	UEs []UESpec
+
+	// Cells, when non-empty, turns the topology into a multi-cell
+	// deployment: each cell gets its own RAN instance, UEs attach per
+	// UESpec.Cell, and the simulation shards per handover domain — one
+	// sim engine per domain, advanced in parallel under conservative
+	// time-window synchronization. Empty Cells is the historical
+	// single-cell path, bit-for-bit unchanged.
+	Cells []CellSpec
+
+	// Lookahead is the conservative sync window of a sharded run. It
+	// must lower-bound every cross-shard physical latency; the wired
+	// inter-gNB path bounds it in practice. Zero defaults to 10 ms.
+	Lookahead time.Duration
+
+	// HandoverGap is the service interruption of a handover: the UE is
+	// detached (no grants, HARQ reset) for this long before attaching to
+	// the target cell, covering the grant gap plus the buffered-data
+	// transfer. Zero defaults to 20 ms.
+	HandoverGap time.Duration
+
+	// InterferenceCoupling sets ran.Config.InterferenceCoupling on every
+	// cell that does not override it: neighbor-cell load depresses each
+	// cell's usable capacity via the barrier-exchanged utilization.
+	InterferenceCoupling float64
+
+	// Serial forces a sharded run to advance its shards on one goroutine
+	// instead of the worker gang. Execution-only: digests are identical
+	// either way (the golden test pins this).
+	Serial bool
 }
 
 // FlowIDs are the flow identifiers owned by one UE.
@@ -231,6 +270,11 @@ type TopologyResult struct {
 	CapCore, CapSFU *packet.Capture
 
 	UEs []*UEResult
+
+	// Shards holds the per-shard infrastructure of a sharded multi-cell
+	// run (nil on the single-cell path). The legacy top-level pointers
+	// (Sim, RAN, Prober, CapCore, CapSFU) then alias shard 0's.
+	Shards []*ShardResult
 }
 
 // build threads state through the stage builders. Each stage mirrors one
@@ -250,6 +294,14 @@ type build struct {
 	wanUp  *netem.Link
 	inject *injector
 	cell   *ran.RAN
+
+	// Sharded-run fields (zero on the single-cell path): the shard
+	// index, the global indices of the cells this shard owns, the RAN
+	// instances in that order, and the lookup from global cell index.
+	shardIdx     int
+	cellIdxs     []int
+	cells        []*ran.RAN
+	cellByGlobal map[int]*ran.RAN
 
 	// Routing tables for the shared stages, keyed by flow.
 	downlinkByFlow map[uint32]*netem.Link // SFU egress → subscriber WAN leg
@@ -271,13 +323,31 @@ type ueBuild struct {
 	snd                *vca.Sender
 	wanDown            *netem.Link
 
+	// servingCell is the cell currently carrying this UE's downlink (and,
+	// via ranUE's attachment, its uplink). On the single-cell path it is
+	// the one cell for the whole run; a handover repoints it at detach
+	// time so downlink traffic reroutes immediately, while the uplink
+	// rebinds when the grant gap ends. curCell is its global cell index.
+	servingCell *ran.RAN
+	curCell     int
+
 	ntpT1, ntpT2       map[uint64]time.Duration
 	senderNTP, recvNTP clock.SyncEstimator
 }
 
 // RunTopology executes a multi-UE testbed and correlates each UE's
-// traces. It is deterministic in Topology alone.
+// traces. It is deterministic in Topology alone: with Cells set, the
+// sharded multi-cell engine produces byte-identical digests whether the
+// shards advance serially or in parallel.
 func RunTopology(top Topology) *TopologyResult {
+	if len(top.Cells) > 0 {
+		return runShardedTopology(top)
+	}
+	for i, u := range top.UEs {
+		if u.Cell != 0 || len(u.Handovers) > 0 {
+			panic(fmt.Sprintf("scenario: UE %d sets Cell/Handovers but Topology.Cells is empty", i))
+		}
+	}
 	b := runTopologyBuild(top)
 	b.correlate()
 	return b.res
@@ -308,7 +378,21 @@ func runTopologyBuild(top Topology) *build {
 // newBuild allocates the simulator, host clocks and controllers — no
 // events or RNG streams yet.
 func newBuild(top Topology) *build {
-	s := sim.New(top.Seed)
+	idxs := make([]int, len(top.UEs))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return newBuildFor(top, top.Seed, idxs)
+}
+
+// newBuildFor is newBuild generalized to a subset of the topology's UEs
+// (one shard of a multi-cell run) with its own engine seed. UEs keep
+// their global index — flow IDs, clock names and RAN UE identifiers are
+// topology-global, so merged results are position-independent. For the
+// full index set and the topology seed it is exactly the historical
+// single-shard construction.
+func newBuildFor(top Topology, seed int64, ueIdxs []int) *build {
+	s := sim.New(seed)
 	b := &build{
 		top:            top,
 		s:              s,
@@ -320,7 +404,8 @@ func newBuild(top Topology) *build {
 		ueByDLFB:       make(map[uint32]*ueBuild),
 		ueByMedia:      make(map[uint32]*ueBuild),
 	}
-	for i, spec := range top.UEs {
+	for _, i := range ueIdxs {
+		spec := top.UEs[i]
 		sname, rname := "sender", "receiver"
 		if i > 0 {
 			sname = fmt.Sprintf("sender%d", i+1)
@@ -410,7 +495,9 @@ func (b *build) buildWiredPath() {
 			l.Handle(p)
 			return
 		}
-		b.ues[0].wanDown.Handle(p)
+		if len(b.ues) > 0 {
+			b.ues[0].wanDown.Handle(p)
+		}
 	})
 	sfu := netem.NewSFU(s, egress)
 	// The SFU is also the probe target: echoes return to the core.
@@ -457,7 +544,7 @@ func (b *build) coreIngress() packet.Handler {
 			if ub, ok := b.ueByNTPFlow[p.Flow]; ok {
 				ub.ntpT2[p.ID] = b.coreClk.Read(s.Now())
 				if ub.ranUE != nil {
-					b.cell.SendDownlink(ub.ranUE, p)
+					ub.servingCell.SendDownlink(ub.ranUE, p)
 				}
 				return
 			}
@@ -498,13 +585,51 @@ func (b *build) buildAccess() {
 	if b.top.Emulated || (b.top.Access != "" && b.top.Access != Access5G) {
 		return
 	}
-	b.cell = ran.New(b.s, b.top.RAN, b.res.CapCore)
-	b.res.RAN = b.cell
-	for _, ub := range b.ues {
-		ub.ranUE = b.cell.AttachUE(uint32(ub.idx+1), ub.spec.Sched)
+	if len(b.cellIdxs) == 0 {
+		// Single-cell path, unchanged byte for byte.
+		b.cell = ran.New(b.s, b.top.RAN, b.res.CapCore)
+		b.res.RAN = b.cell
+		for _, ub := range b.ues {
+			ub.ranUE = b.cell.AttachUE(uint32(ub.idx+1), ub.spec.Sched)
+			ub.servingCell = b.cell
+		}
+		if b.top.CrossUEs > 0 && len(b.top.CrossPhases) > 0 {
+			ran.NewCrossSource(b.s, b.cell, &b.alloc, b.top.CrossUEs, b.top.crossFlowBase(), b.top.CrossPhases)
+		}
+		return
 	}
-	if b.top.CrossUEs > 0 && len(b.top.CrossPhases) > 0 {
-		ran.NewCrossSource(b.s, b.cell, &b.alloc, b.top.CrossUEs, b.top.crossFlowBase(), b.top.CrossPhases)
+	// Multi-cell shard: one RAN per owned cell, in global cell order;
+	// UEs attach to their home cell; per-cell cross traffic last, so a
+	// one-cell shard's stream creation order matches the single-cell
+	// path exactly.
+	b.cellByGlobal = make(map[int]*ran.RAN, len(b.cellIdxs))
+	for _, ci := range b.cellIdxs {
+		spec := b.top.Cells[ci]
+		cfg := b.top.RAN
+		if spec.RAN != nil {
+			cfg = *spec.RAN
+		}
+		cfg.CellID = uint32(ci)
+		if cfg.InterferenceCoupling == 0 {
+			cfg.InterferenceCoupling = b.top.InterferenceCoupling
+		}
+		cell := ran.New(b.s, cfg, b.res.CapCore)
+		b.cells = append(b.cells, cell)
+		b.cellByGlobal[ci] = cell
+	}
+	b.res.RAN = b.cells[0]
+	for _, ub := range b.ues {
+		cell := b.cellByGlobal[ub.spec.Cell]
+		ub.ranUE = cell.AttachUE(uint32(ub.idx+1), ub.spec.Sched)
+		ub.servingCell = cell
+		ub.curCell = ub.spec.Cell
+	}
+	for _, ci := range b.cellIdxs {
+		spec := b.top.Cells[ci]
+		if spec.CrossUEs > 0 && len(spec.CrossPhases) > 0 {
+			base := b.top.crossFlowBase() + uint32(64*ci)
+			ran.NewCrossSource(b.s, b.cellByGlobal[ci], &b.alloc, spec.CrossUEs, base, spec.CrossPhases)
+		}
 	}
 }
 
@@ -571,7 +696,7 @@ func (b *build) buildEndpoint(ub *ueBuild) {
 	toSender := packet.HandlerFunc(func(p *packet.Packet) {
 		p = maskIfNeeded(p)
 		if ub.ranUE != nil {
-			b.cell.SendDownlink(ub.ranUE, p)
+			ub.servingCell.SendDownlink(ub.ranUE, p)
 		} else {
 			s.After(top.EmulatedLatency, func() { snd.HandleFeedback(p) })
 		}
@@ -611,7 +736,7 @@ func (b *build) buildEndpoint(ub *ueBuild) {
 	if spec.TwoParty && ub.ranUE != nil {
 		dlCtrl := gcc.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
 		remoteOut := packet.HandlerFunc(func(p *packet.Packet) {
-			s.After(15*time.Millisecond, func() { b.cell.SendDownlink(ub.ranUE, p) })
+			s.After(15*time.Millisecond, func() { ub.servingCell.SendDownlink(ub.ranUE, p) })
 		})
 		ub.res.DLSender = vca.NewSender(s, &b.alloc, vca.SenderConfig{
 			VideoSSRC:  ub.flows.DLVideo,
@@ -717,8 +842,27 @@ func (b *build) correlate() {
 	coreByUE := partitionByFlow(b.res.CapCore.Records, ueOfFlow, len(b.ues))
 	sfuByUE := partitionByFlow(b.res.CapSFU.Records, ueOfFlow, len(b.ues))
 	var tbsByUE [][]telemetry.TBRecord
-	if b.cell != nil {
-		tbsByUE = partitionTBsByUE(b.cell.Telemetry.Records, len(b.ues))
+	if cells := b.cellList(); len(cells) > 0 {
+		// Concatenate per-cell telemetry in global cell order: a UE that
+		// handed over has TBs in two cells' streams, and the correlator's
+		// TB reconstruction tolerates the resulting time interleaving.
+		recs := cells[0].Telemetry.Records
+		if len(cells) > 1 {
+			total := 0
+			for _, c := range cells {
+				total += len(c.Telemetry.Records)
+			}
+			merged := make([]telemetry.TBRecord, 0, total)
+			for _, c := range cells {
+				merged = append(merged, c.Telemetry.Records...)
+			}
+			recs = merged
+		}
+		idOf := make(map[uint32]int, len(b.ues))
+		for i, ub := range b.ues {
+			idOf[uint32(ub.idx+1)] = i
+		}
+		tbsByUE = partitionTBsByUE(recs, idOf, len(b.ues))
 	}
 
 	correlateUE := func(i int) {
@@ -811,13 +955,26 @@ func partitionByFlow(records []packet.Record, ueOfFlow map[uint32]int, n int) []
 	return out
 }
 
-// partitionTBsByUE splits the cell telemetry into per-UE attempt streams
-// in one pass, preserving transmission order; equivalent to calling
-// Telemetry.ForUE for each of the n VCA UEs (ids 1..n).
-func partitionTBsByUE(records []telemetry.TBRecord, n int) [][]telemetry.TBRecord {
+// cellList returns the build's RAN instances: the single shared cell on
+// the legacy path, or the shard's cells in global order.
+func (b *build) cellList() []*ran.RAN {
+	if len(b.cells) > 0 {
+		return b.cells
+	}
+	if b.cell != nil {
+		return []*ran.RAN{b.cell}
+	}
+	return nil
+}
+
+// partitionTBsByUE splits cell telemetry into per-UE attempt streams in
+// one pass, preserving input order. idOf maps RAN UE identifiers to
+// local result positions (identity minus one on the legacy path; sparse
+// for a shard holding a subset of the topology's UEs).
+func partitionTBsByUE(records []telemetry.TBRecord, idOf map[uint32]int, n int) [][]telemetry.TBRecord {
 	counts := make([]int, n)
 	for _, r := range records {
-		if i := int(r.UE) - 1; i >= 0 && i < n {
+		if i, ok := idOf[r.UE]; ok {
 			counts[i]++
 		}
 	}
@@ -826,7 +983,7 @@ func partitionTBsByUE(records []telemetry.TBRecord, n int) [][]telemetry.TBRecor
 		out[i] = make([]telemetry.TBRecord, 0, c)
 	}
 	for _, r := range records {
-		if i := int(r.UE) - 1; i >= 0 && i < n {
+		if i, ok := idOf[r.UE]; ok {
 			out[i] = append(out[i], r)
 		}
 	}

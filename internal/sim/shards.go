@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"athena/internal/obs"
+)
+
+// Shards coordinates several independent Simulators — one per shard of a
+// partitioned deployment — under conservative time-window
+// synchronization. All shards advance in lockstep windows of a fixed
+// lookahead: each window every shard runs its own event loop to the
+// window end (in parallel when a Gang is supplied), then all shards stop
+// at a barrier where cross-shard interactions are exchanged, and the
+// next window begins.
+//
+// The protocol is conservative in the classical parallel-DES sense:
+// during a window a shard may only observe state that was fixed at the
+// last barrier, and anything it emits toward another shard must be
+// timestamped at or after the *next* barrier. The mailbox enforces that
+// contract (a Post inside the current window panics), so no shard can
+// ever receive an event in its past and no rollback machinery is
+// needed. The lookahead is therefore not a tuning knob but a modeling
+// statement: it must lower-bound the latency of every physical
+// cross-shard channel (the inter-gNB wired path for handover transfers
+// and load reports).
+//
+// Determinism: a shard's event loop is a pure function of its own seed
+// and the mail delivered at its barriers. Mail is merged in a fixed
+// order — (timestamp, source shard, post sequence) — and inserted
+// before the next window runs, so insertion-order tie-breaking inside
+// each Simulator is reproducible. Advancing the shards serially or in
+// parallel on a Gang therefore produces byte-identical simulations; the
+// scenario test suite pins that equivalence.
+type Shards struct {
+	sims   []*Simulator
+	window time.Duration
+
+	// windowEnd is the barrier time of the window currently running. It
+	// is written between windows (single-threaded) and only read by
+	// shard goroutines during the window, with the Gang's channel
+	// operations providing the happens-before edges.
+	windowEnd time.Duration
+
+	// outbox[src] collects mail posted by shard src during its window
+	// (each shard goroutine appends only to its own outbox) and by the
+	// barrier callback (single-threaded, any src).
+	outbox [][]mail
+	seq    []uint64
+
+	metWindows *obs.Counter
+	metPosts   *obs.Counter
+	waitAll    *obs.Histogram
+	waits      []*obs.Histogram
+	finishes   []time.Time
+}
+
+// mail is one cross-shard event: a closure to execute in the target
+// shard's simulator at a fixed virtual time.
+type mail struct {
+	at  time.Duration
+	dst int
+	fn  func()
+}
+
+// NewShards builds a coordinator over sims advancing in windows of the
+// given lookahead. Histograms sim.shard<i>.barrier_wait_ns record, per
+// shard, how long it idled at each barrier waiting for the slowest
+// shard of that window (parallel advancement only); sim.barrier_wait_ns
+// aggregates them.
+func NewShards(sims []*Simulator, lookahead time.Duration) *Shards {
+	if len(sims) == 0 {
+		panic("sim: NewShards requires at least one simulator")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewShards requires a positive lookahead window")
+	}
+	sh := &Shards{
+		sims:       sims,
+		window:     lookahead,
+		outbox:     make([][]mail, len(sims)),
+		seq:        make([]uint64, len(sims)),
+		metWindows: obs.NewCounter("sim.windows"),
+		metPosts:   obs.NewCounter("sim.mailbox_posts"),
+		waitAll:    obs.NewHistogram("sim.barrier_wait_ns"),
+		waits:      make([]*obs.Histogram, len(sims)),
+		finishes:   make([]time.Time, len(sims)),
+	}
+	for i := range sims {
+		sh.waits[i] = obs.NewHistogram(fmt.Sprintf("sim.shard%d.barrier_wait_ns", i))
+	}
+	return sh
+}
+
+// Window reports the lookahead window length.
+func (sh *Shards) Window() time.Duration { return sh.window }
+
+// Post mails fn to shard dst for execution at virtual time at. src names
+// the posting shard: during a window a shard may post only as itself
+// (outboxes are sharded to stay lock-free); the barrier callback runs
+// with every shard quiesced and may post under any src. The timestamp
+// must not precede the current window's barrier — mail into the running
+// window would violate the conservative lookahead contract, so it
+// panics rather than silently perturbing determinism.
+func (sh *Shards) Post(src, dst int, at time.Duration, fn func()) {
+	if dst < 0 || dst >= len(sh.sims) {
+		panic(fmt.Sprintf("sim: Post to unknown shard %d", dst))
+	}
+	if at < sh.windowEnd {
+		panic(fmt.Sprintf("sim: Post at %v violates the lookahead bound (current barrier %v)", at, sh.windowEnd))
+	}
+	sh.seq[src]++
+	sh.outbox[src] = append(sh.outbox[src], mail{at: at, dst: dst, fn: fn})
+	sh.metPosts.Inc()
+}
+
+// Advance runs every shard to horizon in lookahead-sized windows. When g
+// is nil the shards advance serially in index order; otherwise each
+// window fans out across the gang's workers. barrier, when non-nil, is
+// invoked at every window boundary (with all shards stopped at exactly
+// that virtual time) and may inspect shard state and Post mail for the
+// windows ahead. Both advancement modes execute the same per-shard
+// event sequences.
+func (sh *Shards) Advance(horizon time.Duration, g *Gang, barrier func(end time.Duration)) {
+	for start := time.Duration(0); start < horizon; {
+		end := start + sh.window
+		if end > horizon {
+			end = horizon
+		}
+		sh.windowEnd = end
+		sh.metWindows.Inc()
+		obsOn := obs.Enabled()
+		step := func(i int) {
+			sh.sims[i].RunUntil(end)
+			if obsOn {
+				sh.finishes[i] = time.Now()
+			}
+		}
+		if g == nil {
+			for i := range sh.sims {
+				step(i)
+			}
+		} else {
+			g.Run(len(sh.sims), step)
+			if obsOn {
+				sh.observeBarrierWaits()
+			}
+		}
+		if barrier != nil {
+			barrier(end)
+		}
+		sh.deliver()
+		start = end
+	}
+}
+
+// observeBarrierWaits records, for each shard, the wall-clock idle time
+// between its window completion and the slowest shard's.
+func (sh *Shards) observeBarrierWaits() {
+	last := sh.finishes[0]
+	for _, t := range sh.finishes[1:] {
+		if t.After(last) {
+			last = t
+		}
+	}
+	for i, t := range sh.finishes {
+		w := last.Sub(t)
+		sh.waits[i].ObserveDuration(w)
+		sh.waitAll.ObserveDuration(w)
+	}
+}
+
+// deliver merges every outbox into the target simulators in the fixed
+// order (timestamp, source shard, post sequence). Insertion order breaks
+// same-time ties inside each Simulator, so the merge order is part of
+// the deterministic contract.
+func (sh *Shards) deliver() {
+	total := 0
+	for _, box := range sh.outbox {
+		total += len(box)
+	}
+	if total == 0 {
+		return
+	}
+	type delivery struct {
+		m    mail
+		src  int
+		sseq int // position within the source outbox (post order)
+	}
+	all := make([]delivery, 0, total)
+	for src, box := range sh.outbox {
+		for i, m := range box {
+			all = append(all, delivery{m: m, src: src, sseq: i})
+		}
+		sh.outbox[src] = box[:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.m.at != b.m.at {
+			return a.m.at < b.m.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.sseq < b.sseq
+	})
+	for _, d := range all {
+		sh.sims[d.m.dst].At(d.m.at, d.m.fn)
+	}
+}
+
+// Gang is a fixed crew of goroutines for repeated barriered fan-outs —
+// the shard advancement loop dispatches every simulation window through
+// one. Unlike runner.Pool.ForEach, a Gang owns its workers outright and
+// draws nothing from the process-wide scenario pool's semaphore, so a
+// sharded topology that is itself executing on a pool worker can fan
+// its shards out without nested-submission starvation (a pool worker
+// blocking on pool slots its own batch already holds).
+type Gang struct {
+	tasks chan gangTask
+	n     int
+}
+
+type gangTask struct {
+	i  int
+	fn func(int)
+	wg *sync.WaitGroup
+}
+
+// NewGang starts workers goroutines (GOMAXPROCS when workers <= 0).
+// Close releases them.
+func NewGang(workers int) *Gang {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := &Gang{tasks: make(chan gangTask), n: workers}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range g.tasks {
+				t.fn(t.i)
+				t.wg.Done()
+			}
+		}()
+	}
+	return g
+}
+
+// Workers reports the crew size.
+func (g *Gang) Workers() int { return g.n }
+
+// Run executes fn(0..n-1) across the gang and waits for all of them.
+// Successive Run calls reuse the same workers, so a window loop pays no
+// per-window goroutine churn.
+func (g *Gang) Run(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		g.tasks <- gangTask{i: i, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close releases the gang's workers. Run after Close panics.
+func (g *Gang) Close() { close(g.tasks) }
