@@ -51,6 +51,7 @@ type scaleReport struct {
 	DurationSec float64 `json:"duration_sec"`
 	Seed        int64   `json:"seed"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
+	CPUs        int     `json:"cpus"`
 	Shards      int     `json:"shards"`
 	Digest      string  `json:"digest"`
 
@@ -129,6 +130,7 @@ func runScale(p scaleParams) error {
 		DurationSec:    dur.Seconds(),
 		Seed:           p.Seed,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		CPUs:           runtime.NumCPU(),
 		Shards:         shards,
 		Digest:         serialDigest,
 		Serial:         serial,

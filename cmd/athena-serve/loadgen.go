@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/obs"
+	"athena/internal/scenario"
+	"athena/internal/session"
+)
+
+// loadgenParams configures one load-generation run.
+type loadgenParams struct {
+	Target   string // server URL; empty starts an in-process server
+	Sessions int
+	UEs      int
+	Cells    int
+	Duration time.Duration
+	Tick     time.Duration
+	Seed     int64
+	Workers  int
+	Out      string // report path; empty skips the write
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	Target    string `json:"target"`
+	InProcess bool   `json:"in_process"`
+
+	Sessions    int     `json:"sessions"`
+	Streams     int     `json:"streams"`
+	UEs         int     `json:"ues"`
+	Cells       int     `json:"cells"`
+	DurationSec float64 `json:"duration_sec"`
+	TickMS      float64 `json:"tick_ms"`
+	Seed        int64   `json:"seed"`
+
+	GOMAXPROCS int `json:"gomaxprocs"`
+	CPUs       int `json:"cpus"`
+	Workers    int `json:"workers"`
+
+	Records int64   `json:"records"`
+	Batches int64   `json:"batches"`
+	WallSec float64 `json:"wall_sec"`
+
+	// SessionsPerCoreSec is the headline throughput: completed sessions
+	// per core per wall second (sessions / wall_sec / gomaxprocs).
+	SessionsPerSec     float64 `json:"sessions_per_sec"`
+	SessionsPerCoreSec float64 `json:"sessions_per_core_sec"`
+
+	// Client-side POST /records latency and the server's own feed
+	// histogram (serve.http.feed_ns), both in nanoseconds.
+	ClientPostP50NS int64 `json:"client_post_p50_ns"`
+	ClientPostP99NS int64 `json:"client_post_p99_ns"`
+	ServerFeedP50NS int64 `json:"server_feed_p50_ns"`
+	ServerFeedP99NS int64 `json:"server_feed_p99_ns"`
+
+	// DigestMatches counts sessions whose streamed attribution digest
+	// equalled the offline batch correlation; a mismatch aborts the run
+	// with a nonzero exit, so a written report always has
+	// digest_matches == sessions.
+	DigestMatches int `json:"digest_matches"`
+}
+
+// streamWork is one tapped session stream prepared for replication: the
+// session config (capture slices stripped), the pre-encoded feed
+// batches, and the offline reference digest every replica must match.
+// Pre-encoding pays the JSON cost once per stream instead of once per
+// session, so the measurement loop exercises the server, not the client
+// marshaller.
+type streamWork struct {
+	id         string
+	cfg        session.Config
+	chunks     [][]byte
+	records    int64
+	wantDigest string
+}
+
+// buildWork runs the source topology and taps its session streams.
+func buildWork(p loadgenParams) ([]streamWork, error) {
+	var top scenario.Topology
+	if p.Cells > 1 {
+		top = scenario.NewMultiCellTopology(p.UEs, p.Cells)
+	} else {
+		top = scenario.NewTopology(p.UEs)
+	}
+	top.Seed = p.Seed
+	top.Duration = p.Duration
+	tr := scenario.RunTopology(top)
+
+	streams := tr.SessionStreams()
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("topology produced no session streams")
+	}
+	work := make([]streamWork, len(streams))
+	for i := range streams {
+		ss := &streams[i]
+		w := &work[i]
+		w.id = ss.ID
+		w.wantDigest = core.Correlate(ss.Input).PacketsDigest()
+		w.cfg = session.Config{Input: ss.Input}
+		w.cfg.Input.Sender, w.cfg.Input.Core, w.cfg.Input.TBs = nil, nil, nil
+		for _, ch := range ss.Chunks(p.Tick) {
+			enc, err := json.Marshal(session.Batch{
+				Sender: ch.Sender, Core: ch.Core, TBs: ch.TBs, AdvanceTo: ch.AdvanceTo,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("encode %s chunk: %w", ss.ID, err)
+			}
+			w.chunks = append(w.chunks, enc)
+			w.records += int64(len(ch.Sender) + len(ch.Core) + len(ch.TBs))
+		}
+	}
+	return work, nil
+}
+
+// runLoadgen replays the tapped streams into the target server across
+// p.Sessions independent sessions and verifies every session's digest
+// against its stream's offline correlation. Any feed error or digest
+// mismatch fails the run.
+func runLoadgen(p loadgenParams) (*serveReport, error) {
+	if p.Sessions <= 0 {
+		p.Sessions = 1
+	}
+	if p.Workers <= 0 {
+		p.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if p.Workers > p.Sessions {
+		p.Workers = p.Sessions
+	}
+
+	work, err := buildWork(p)
+	if err != nil {
+		return nil, err
+	}
+
+	target, inproc := p.Target, false
+	if target == "" {
+		inproc = true
+		obs.Enable()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: session.NewRegistry().Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		target = "http://" + ln.Addr().String()
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * p.Workers,
+		MaxIdleConnsPerHost: 2 * p.Workers,
+	}}
+
+	// Workers stride the session index space; each session is created,
+	// fed chunk by chunk, digest-verified and deleted before the worker
+	// moves on, so up to p.Workers sessions are live at once.
+	lats := make([][]int64, p.Workers)
+	errs := make([]error, p.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < p.Sessions; i += p.Workers {
+				sw := &work[i%len(work)]
+				id := fmt.Sprintf("lg-%04d-%s", i, sw.id)
+				if err := runSession(client, target, id, sw, &lats[w]); err != nil {
+					errs[w] = fmt.Errorf("session %s: %w", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	var records int64
+	for i := 0; i < p.Sessions; i++ {
+		records += work[i%len(work)].records
+	}
+	rep := &serveReport{
+		Target:             target,
+		InProcess:          inproc,
+		Sessions:           p.Sessions,
+		Streams:            len(work),
+		UEs:                p.UEs,
+		Cells:              p.Cells,
+		DurationSec:        p.Duration.Seconds(),
+		TickMS:             float64(p.Tick) / float64(time.Millisecond),
+		Seed:               p.Seed,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		CPUs:               runtime.NumCPU(),
+		Workers:            p.Workers,
+		Records:            records,
+		Batches:            int64(len(all)),
+		WallSec:            wall.Seconds(),
+		SessionsPerSec:     float64(p.Sessions) / wall.Seconds(),
+		SessionsPerCoreSec: float64(p.Sessions) / wall.Seconds() / float64(runtime.GOMAXPROCS(0)),
+		ClientPostP50NS:    percentile(all, 0.50),
+		ClientPostP99NS:    percentile(all, 0.99),
+		DigestMatches:      p.Sessions,
+	}
+	if snap, err := fetchMetrics(client, target); err == nil {
+		h := snap.Histograms["serve.http.feed_ns"]
+		rep.ServerFeedP50NS, rep.ServerFeedP99NS = h.P50, h.P99
+	}
+
+	if p.Out != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(p.Out, append(enc, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// runSession drives one session through its full lifecycle, appending
+// each POST /records round-trip time to lat.
+func runSession(c *http.Client, target, id string, sw *streamWork, lat *[]int64) error {
+	cfg := sw.cfg
+	cfg.ID = id
+	var st session.Status
+	if err := doJSON(c, "POST", target+"/v1/sessions", mustEncode(cfg), http.StatusCreated, &st); err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	var fr session.FeedResponse
+	for i, enc := range sw.chunks {
+		t0 := time.Now()
+		err := doJSON(c, "POST", target+"/v1/sessions/"+id+"/records", enc, http.StatusOK, &fr)
+		*lat = append(*lat, int64(time.Since(t0)))
+		if err != nil {
+			return fmt.Errorf("feed chunk %d: %w", i, err)
+		}
+	}
+	if err := doJSON(c, "GET", target+"/v1/sessions/"+id+"/attribution", nil, http.StatusOK, &st); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if st.Feed.Pending != 0 {
+		return fmt.Errorf("replay left %d packets pending", st.Feed.Pending)
+	}
+	if st.Digest != sw.wantDigest {
+		return fmt.Errorf("digest mismatch: streamed %s, offline %s", st.Digest, sw.wantDigest)
+	}
+	if err := doJSON(c, "DELETE", target+"/v1/sessions/"+id, nil, http.StatusOK, &st); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}
+
+// doJSON round-trips one API call, decoding the reply into out when the
+// status matches and the error envelope when it does not.
+func doJSON(c *http.Client, method, url string, body []byte, want int, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("%s %s: %d (want %d): %s", method, url, resp.StatusCode, want, eb.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func fetchMetrics(c *http.Client, target string) (*obs.Snapshot, error) {
+	var snap obs.Snapshot
+	if err := doJSON(c, "GET", target+"/metrics", nil, http.StatusOK, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+func mustEncode(v any) []byte {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return enc
+}
+
+// percentile reads quantile q off a sorted latency slice.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

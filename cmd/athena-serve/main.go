@@ -1,0 +1,135 @@
+// Command athena-serve runs the live multi-session attribution service:
+// an HTTP server over the session registry (internal/session) that
+// accepts capture and telemetry feeds from many concurrent video-call
+// sessions and answers per-session root-cause attribution queries while
+// the calls are still running.
+//
+//	athena-serve                        # serve on :8080
+//	athena-serve -addr 127.0.0.1:9090   # serve elsewhere
+//	athena-serve -loadgen               # load-generate against an
+//	                                    # in-process server, write
+//	                                    # BENCH_serve.json
+//	athena-serve -loadgen -target http://host:8080 -sessions 200
+//
+// The server drains gracefully: on SIGINT/SIGTERM it stops accepting
+// requests, flushes every open session through its emission horizon
+// (so their attribution digests are final), and logs the drained count
+// before exiting.
+//
+// Load-generator mode replays simulator-tapped session streams
+// (scenario.SessionStreams) over the same HTTP API, replicated across
+// -sessions independent sessions, and verifies every streamed session's
+// attribution digest against the offline batch correlation of the same
+// feed — a cryptographic end-to-end check that service-mode Athena and
+// paper-mode Athena are the same estimator. Throughput (sessions per
+// core-second) and ingest latency (client POST p99 and server feed p99)
+// land in BENCH_serve.json.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"athena/internal/obs"
+	"athena/internal/session"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("athena-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address (server mode)")
+	maxSessions := flag.Int("max-sessions", 0, "session capacity, 0 = unbounded")
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of a server")
+	target := flag.String("target", "", "loadgen: server URL; empty runs an in-process server")
+	sessions := flag.Int("sessions", 120, "loadgen: concurrent session count")
+	ues := flag.Int("ues", 2, "loadgen: UEs in the source topology")
+	cells := flag.Int("cells", 1, "loadgen: cells in the source topology (>1 shards the simulation)")
+	duration := flag.Duration("duration", 2*time.Second, "loadgen: simulated call duration per session")
+	tick := flag.Duration("tick", 100*time.Millisecond, "loadgen: feed batching interval")
+	seed := flag.Int64("seed", 1, "loadgen: simulation seed")
+	workers := flag.Int("workers", 0, "loadgen: concurrent feeders, 0 = 2x GOMAXPROCS")
+	out := flag.String("out", "BENCH_serve.json", "loadgen: report path, empty skips the write")
+	flag.Parse()
+
+	if *loadgen {
+		p := loadgenParams{
+			Target:   *target,
+			Sessions: *sessions,
+			UEs:      *ues,
+			Cells:    *cells,
+			Duration: *duration,
+			Tick:     *tick,
+			Seed:     *seed,
+			Workers:  *workers,
+			Out:      *out,
+		}
+		rep, err := runLoadgen(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%d sessions, %d records in %.2fs: %.1f sessions/core-sec, client p99 %s, server p99 %s",
+			rep.Sessions, rep.Records, rep.WallSec,
+			rep.SessionsPerCoreSec,
+			time.Duration(rep.ClientPostP99NS), time.Duration(rep.ServerFeedP99NS))
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	reg := session.NewRegistry()
+	reg.MaxSessions = *maxSessions
+	log.Printf("listening on %s", ln.Addr())
+	drained, err := serve(ctx, ln, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained %d sessions, bye", drained)
+}
+
+// serve runs the session API on ln until ctx is cancelled, then drains:
+// in-flight requests get shutdownGrace to finish, every remaining
+// session is flushed through its horizon and closed, and the drained
+// session count is returned. Metrics collection is enabled for the
+// server's lifetime so /metrics is live.
+func serve(ctx context.Context, ln net.Listener, reg *session.Registry) (int, error) {
+	obs.Enable()
+	srv := &http.Server{Handler: reg.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return 0, fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		// Slow clients lose their connections; the sessions still drain.
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return 0, err
+	}
+	final := reg.CloseAll()
+	return len(final), nil
+}
+
+// shutdownGrace bounds how long in-flight requests may run once a
+// shutdown signal arrives.
+const shutdownGrace = 10 * time.Second

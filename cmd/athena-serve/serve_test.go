@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"athena/internal/session"
+)
+
+// TestLoadgenEndToEndSharded runs the full load-generator path against
+// an in-process server with a sharded multi-cell source topology: every
+// replicated session's streamed attribution must digest-match the
+// offline batch correlation of the same feed, over real HTTP.
+func TestLoadgenEndToEndSharded(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	p := loadgenParams{
+		Sessions: 6,
+		UEs:      3,
+		Cells:    2,
+		Duration: 2 * time.Second,
+		Tick:     100 * time.Millisecond,
+		Seed:     1,
+		Workers:  4,
+		Out:      out,
+	}
+	rep, err := runLoadgen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.InProcess {
+		t.Fatal("expected an in-process server")
+	}
+	if rep.Streams != 3 {
+		t.Fatalf("tapped %d streams, want 3", rep.Streams)
+	}
+	if rep.DigestMatches != p.Sessions {
+		t.Fatalf("digest matches %d, want %d", rep.DigestMatches, p.Sessions)
+	}
+	if rep.Records == 0 || rep.Batches == 0 || rep.ClientPostP99NS == 0 {
+		t.Fatalf("empty measurement: %+v", rep)
+	}
+
+	enc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk serveReport
+	if err := json.Unmarshal(enc, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.GOMAXPROCS <= 0 || onDisk.CPUs <= 0 {
+		t.Fatalf("report missing core counts: %+v", onDisk)
+	}
+	if onDisk.SessionsPerCoreSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", onDisk)
+	}
+}
+
+// TestLoadgenDetectsCorruption pins the nonzero-exit contract: a feed
+// that violates the session's stream order must fail the run, not pass
+// silently.
+func TestLoadgenDetectsCorruption(t *testing.T) {
+	p := loadgenParams{Sessions: 1, UEs: 1, Duration: time.Second, Tick: 50 * time.Millisecond, Seed: 1}
+	work, err := buildWork(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(work[0].chunks) < 2 {
+		t.Fatal("need at least two chunks")
+	}
+	// Swap the first two chunks: sender records now arrive out of order.
+	work[0].chunks[0], work[0].chunks[1] = work[0].chunks[1], work[0].chunks[0]
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: session.NewRegistry().Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var lat []int64
+	err = runSession(http.DefaultClient, "http://"+ln.Addr().String(), "corrupt", &work[0], &lat)
+	if err == nil {
+		t.Fatal("out-of-order replay passed verification")
+	}
+}
+
+// TestServeGracefulDrain exercises the server's shutdown path: cancel
+// the serve context while a session still has pending packets and the
+// server must flush it through the horizon before exiting.
+func TestServeGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := session.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var drained int
+	var serveErr error
+	go func() {
+		defer close(done)
+		drained, serveErr = serve(ctx, ln, reg)
+	}()
+	target := "http://" + ln.Addr().String()
+
+	// Wait for the listener to answer.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := doJSON(http.DefaultClient, "GET", target+"/healthz", nil, http.StatusOK, nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// One session with records but no clock advance: everything pending.
+	work, err := buildWork(loadgenParams{Sessions: 1, UEs: 1, Duration: time.Second, Tick: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := work[0].cfg
+	cfg.ID = "draintest"
+	if err := doJSON(http.DefaultClient, "POST", target+"/v1/sessions", mustEncode(cfg), http.StatusCreated, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ch struct {
+		Sender json.RawMessage `json:"sender"`
+		Core   json.RawMessage `json:"core"`
+	}
+	if err := json.Unmarshal(work[0].chunks[0], &ch); err != nil {
+		t.Fatal(err)
+	}
+	var fr session.FeedResponse
+	if err := doJSON(http.DefaultClient, "POST", target+"/v1/sessions/draintest/records",
+		mustEncode(map[string]json.RawMessage{"sender": ch.Sender, "core": ch.Core}),
+		http.StatusOK, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Feed.Pending == 0 {
+		t.Fatal("expected pending packets before shutdown")
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if drained != 1 {
+		t.Fatalf("drained %d sessions, want 1", drained)
+	}
+}

@@ -37,7 +37,7 @@ type Attribution struct {
 func (r *Report) Attribute() Attribution {
 	a := Attribution{TotalMS: make(map[Cause]float64)}
 	for _, v := range r.Packets {
-		a.accumulate(v)
+		a.Accumulate(v)
 	}
 	return a
 }
@@ -55,15 +55,20 @@ func (r *Report) AttributeByFlow() map[uint32]Attribution {
 		if !ok {
 			a = Attribution{TotalMS: make(map[Cause]float64)}
 		}
-		a.accumulate(v)
+		a.Accumulate(v)
 		out[v.Flow] = a
 	}
 	return out
 }
 
-// accumulate folds one packet's delay components into the breakdown;
-// packets without uplink attribution are skipped.
-func (a *Attribution) accumulate(v PacketView) {
+// Accumulate folds one packet's delay components into the breakdown;
+// packets without uplink attribution are skipped. Exported so streaming
+// consumers (the live session layer) can aggregate attribution
+// incrementally over emitted views instead of re-walking a report.
+func (a *Attribution) Accumulate(v PacketView) {
+	if a.TotalMS == nil {
+		a.TotalMS = make(map[Cause]float64)
+	}
 	if !v.SeenCore || len(v.TBIDs) == 0 {
 		return
 	}

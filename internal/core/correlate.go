@@ -44,8 +44,12 @@ type Input struct {
 	// assumed perfectly synchronized.
 	Offsets map[packet.Point]time.Duration
 
-	// SlotDuration and HARQRTT come from the (known) cell configuration.
+	// SlotDuration, HARQRTT and CoreDelay come from the (known) cell
+	// configuration. HARQRTT (default 10 ms) bounds how long after a
+	// failed transport-block attempt its retransmission can arrive; the
+	// live path uses it to hold emission until a TB's fate is settled.
 	SlotDuration time.Duration
+	HARQRTT      time.Duration
 	CoreDelay    time.Duration
 
 	// MatchTolerance loosens the packet↔TB causality check to absorb

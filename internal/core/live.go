@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"athena/internal/packet"
@@ -12,7 +13,8 @@ import (
 // in real time: capture records and TB telemetry arrive incrementally,
 // and fully-resolved packet views are emitted once a packet's fate is
 // settled (observed at the core and matched to its transport blocks, or
-// given up on after the flush horizon).
+// given up on after the flush horizon). It implements Ingest, the
+// validated streaming boundary a session server holds against each feed.
 //
 // Internally it re-runs the batch pipeline over a sliding window — the
 // batch correlator is cheap enough that clarity beats an incremental
@@ -22,6 +24,14 @@ import (
 // emitted views' TBID copies otherwise. The emission contract (each
 // packet exactly once, in send order, only when resolvable) is what a
 // live consumer such as a PHY-aware congestion controller needs.
+//
+// The feed-order validation doubles as a structural guarantee: because
+// sender records are enforced time-ordered and (when Input.Flows is set)
+// flow-covered, each window's batch report is built 1:1 from the sender
+// buffer, so position i of the buffer IS position i of the report. The
+// emission and trim paths exploit that positional identity — duplicate
+// (flow, seq, kind) keys, legal for sequence-less kinds like NTP cross
+// traffic, can no longer alias each other through the key index.
 type LiveCorrelator struct {
 	in Input
 
@@ -39,6 +49,19 @@ type LiveCorrelator struct {
 	tbs     []telemetry.TBRecord
 	emitted int // prefix of send-ordered packets already emitted
 
+	// Feed-validation state: per-stream capture heads, the duplicate
+	// index over the retained sender window (key → latest LocalTime),
+	// and the flow-coverage set derived from in.Flows.
+	lastSenderAt time.Duration
+	lastCoreAt   time.Duration
+	advanced     time.Duration
+	seen         map[pktKey]time.Duration
+	coveredFlow  map[uint32]bool
+
+	// Progress counters surfaced by Snapshot.
+	emittedTotal int64
+	trims        int64
+
 	// sc is the recycled correlation working set; the trim maps below
 	// are likewise cleared and reused so mid-stream trims stay
 	// allocation-free once warm.
@@ -47,42 +70,105 @@ type LiveCorrelator struct {
 	trimTBs   map[uint64]bool
 	tbInitial map[uint64]time.Duration
 	tbLatest  map[uint64]time.Duration
+	procInit  map[uint64]time.Duration
 }
+
+// LiveCorrelator implements the streaming ingest boundary.
+var _ Ingest = (*LiveCorrelator)(nil)
 
 // NewLive creates a live correlator with the same configuration fields as
 // the batch Input (captures inside `in` are ignored; feed records through
 // the On* methods).
 func NewLive(in Input, emit func(PacketView)) *LiveCorrelator {
 	in.Sender, in.Core, in.SFU, in.Receiver = nil, nil, nil, nil
-	return &LiveCorrelator{
+	lc := &LiveCorrelator{
 		in:         in,
 		FlushAfter: 500 * time.Millisecond,
 		Emit:       emit,
 		sc:         scratch{reuse: true},
+		seen:       make(map[pktKey]time.Duration),
 	}
+	if len(in.Flows) > 0 {
+		lc.coveredFlow = make(map[uint32]bool, len(in.Flows))
+		for _, f := range in.Flows {
+			lc.coveredFlow[f] = true
+		}
+	}
+	return lc
 }
 
 // OnSenderRecord feeds a point-① capture record. Records must arrive in
-// capture order.
-func (lc *LiveCorrelator) OnSenderRecord(r packet.Record) {
+// capture order; a record behind the capture head, a replay of a buffered
+// record, or a record outside Input.Flows is rejected without being
+// ingested.
+func (lc *LiveCorrelator) OnSenderRecord(r packet.Record) error {
+	if r.LocalTime < lc.lastSenderAt {
+		return fmt.Errorf("%w: sender %d/%d/%s at %v behind head %v",
+			ErrOutOfOrder, r.Flow, r.Seq, r.Kind, r.LocalTime, lc.lastSenderAt)
+	}
+	if lc.coveredFlow != nil && !lc.coveredFlow[r.Flow] {
+		return fmt.Errorf("%w: sender %d/%d/%s", ErrFlowNotCovered, r.Flow, r.Seq, r.Kind)
+	}
+	k := pktKey{r.Flow, r.Seq, r.Kind}
+	if at, ok := lc.seen[k]; ok && at == r.LocalTime {
+		// Sequence-less kinds (NTP cross traffic) legitimately repeat a
+		// key at distinct capture times; an identical timestamp means the
+		// same record fed twice.
+		return fmt.Errorf("%w: sender %d/%d/%s at %v", ErrDuplicate, r.Flow, r.Seq, r.Kind, r.LocalTime)
+	}
+	lc.seen[k] = r.LocalTime
+	lc.lastSenderAt = r.LocalTime
 	lc.sender = append(lc.sender, r)
+	return nil
 }
 
-// OnCoreRecord feeds a point-② capture record.
-func (lc *LiveCorrelator) OnCoreRecord(r packet.Record) {
+// OnCoreRecord feeds a point-② capture record. The same capture-order
+// and flow-coverage validation as the sender stream applies; duplicates
+// are harmless here (the join overwrites in place) and pass.
+func (lc *LiveCorrelator) OnCoreRecord(r packet.Record) error {
+	if r.LocalTime < lc.lastCoreAt {
+		return fmt.Errorf("%w: core %d/%d/%s at %v behind head %v",
+			ErrOutOfOrder, r.Flow, r.Seq, r.Kind, r.LocalTime, lc.lastCoreAt)
+	}
+	if lc.coveredFlow != nil && !lc.coveredFlow[r.Flow] {
+		return fmt.Errorf("%w: core %d/%d/%s", ErrFlowNotCovered, r.Flow, r.Seq, r.Kind)
+	}
+	lc.lastCoreAt = r.LocalTime
 	lc.core = append(lc.core, r)
+	return nil
 }
 
-// OnTB feeds one TB telemetry record (any HARQ attempt).
-func (lc *LiveCorrelator) OnTB(r telemetry.TBRecord) {
+// OnTB feeds one TB telemetry record (any HARQ attempt). No ordering
+// constraint: merged multi-cell telemetry legitimately interleaves in
+// time, and the TB reconstruction sorts when needed.
+func (lc *LiveCorrelator) OnTB(r telemetry.TBRecord) error {
 	lc.tbs = append(lc.tbs, r)
+	return nil
+}
+
+// Snapshot reports the feed's progress: emission and trim counts, the
+// session clock, and the retained window sizes.
+func (lc *LiveCorrelator) Snapshot() LiveSnapshot {
+	return LiveSnapshot{
+		Emitted:        lc.emittedTotal,
+		Pending:        lc.Pending(),
+		Trims:          lc.trims,
+		Advanced:       lc.advanced,
+		BufferedSender: len(lc.sender),
+		BufferedCore:   len(lc.core),
+		BufferedTBs:    len(lc.tbs),
+	}
 }
 
 // Advance declares that the live clock reached now: every packet sent
 // before now-FlushAfter is resolved (or given up on) and emitted.
-func (lc *LiveCorrelator) Advance(now time.Duration) {
+func (lc *LiveCorrelator) Advance(now time.Duration) error {
+	if now < lc.advanced {
+		return fmt.Errorf("%w: %v behind %v", ErrTimeRegression, now, lc.advanced)
+	}
+	lc.advanced = now
 	if len(lc.sender) == 0 || lc.emitted >= len(lc.sender) {
-		return
+		return nil
 	}
 	horizon := now - lc.FlushAfter
 
@@ -91,18 +177,68 @@ func (lc *LiveCorrelator) Advance(now time.Duration) {
 	in.Core = lc.core
 	in.TBs = lc.tbs
 	rep := lc.sc.correlate(in)
+	if len(rep.Packets) != len(lc.sender) {
+		// Unreachable given the feed validation (sorted order and flow
+		// coverage make the report 1:1 with the sender buffer), but a
+		// broken invariant here must not silently misemit.
+		return fmt.Errorf("core: live window misaligned: %d views for %d sender records",
+			len(rep.Packets), len(lc.sender))
+	}
+
+	// A failed TB attempt whose HARQ retransmission may still be in
+	// flight is unsettled: if the retry arrives, the TB stops looking
+	// abandoned and the FIFO redistributes every byte from its position
+	// onward. Packets drained entirely by earlier TBs are unaffected, so
+	// emission holds only at and after the earliest unsettled position.
+	rtt := lc.in.HARQRTT
+	if rtt == 0 {
+		rtt = 10 * time.Millisecond
+	}
+	tol := lc.in.MatchTolerance
+	if tol == 0 {
+		tol = 5 * time.Millisecond
+	}
+	unsettled := time.Duration(1<<63 - 1)
+	for _, p := range lc.sc.procs {
+		if p.abandoned && now < p.finalAt+rtt+tol && p.initialAt < unsettled {
+			unsettled = p.initialAt
+		}
+	}
+	if unsettled < 1<<63-1 {
+		if lc.procInit == nil {
+			lc.procInit = make(map[uint64]time.Duration, len(lc.sc.procs))
+		} else {
+			clear(lc.procInit)
+		}
+		for _, p := range lc.sc.procs {
+			lc.procInit[p.id] = p.initialAt
+		}
+	}
 
 	// Emit, in send order, every not-yet-emitted packet that is either
 	// fully resolved (seen at the core with TBs matched) or past the
-	// flush horizon.
+	// flush horizon. The report is positionally identical to the sender
+	// buffer, so index — not the (possibly aliased) key — selects views.
 	senderOff := in.offset(packet.PointSender)
 	for lc.emitted < len(lc.sender) {
 		r := lc.sender[lc.emitted]
-		v, ok := rep.Packet(r.Flow, r.Seq, r.Kind)
-		if !ok {
-			break
+		v := rep.Packets[lc.emitted]
+		// Resolved means the view is final: observed at the core and — when
+		// TB telemetry is in play — fully drained by the FIFO matcher, so
+		// no later TB can extend its match (the FIFO head never moves
+		// backwards). A causal feed implies drained whenever the core saw
+		// the packet; the explicit check protects emission against feeds
+		// that are not.
+		resolved := v.SeenCore && (len(lc.tbs) == 0 ||
+			(len(v.TBIDs) > 0 && rep.fifoLeft[lc.emitted] == 0))
+		if resolved && unsettled < 1<<63-1 {
+			for _, id := range v.TBIDs {
+				if lc.procInit[id] >= unsettled {
+					resolved = false
+					break
+				}
+			}
 		}
-		resolved := v.SeenCore && (len(v.TBIDs) > 0 || len(lc.tbs) == 0)
 		expired := r.LocalTime-senderOff <= horizon
 		if !resolved && !expired {
 			break
@@ -116,19 +252,11 @@ func (lc *LiveCorrelator) Advance(now time.Duration) {
 			lc.Emit(v)
 		}
 		lc.emitted++
+		lc.emittedTotal++
 	}
 
 	// Trim state that can no longer influence unemitted packets.
 	lc.trim(horizon, rep, senderOff)
-}
-
-// viewTBs returns the correlated TB set of the i-th buffered sender
-// record.
-func (lc *LiveCorrelator) viewTBs(rep *Report, i int) []uint64 {
-	r := lc.sender[i]
-	if idx, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]; ok {
-		return rep.Packets[idx].TBIDs
-	}
 	return nil
 }
 
@@ -153,9 +281,13 @@ func (lc *LiveCorrelator) viewTBs(rep *Report, i int) []uint64 {
 // to pass the causality check against any kept-or-future packet.
 func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff time.Duration) {
 	if lc.Pending() == 0 {
+		if len(lc.sender) > 0 {
+			lc.trims++
+		}
 		lc.sender = lc.sender[:0]
 		lc.core = lc.core[:0]
 		lc.emitted = 0
+		clear(lc.seen)
 		keepFrom := horizon - time.Second
 		tbCut := 0
 		for tbCut < len(lc.tbs) && lc.tbs[tbCut].At < keepFrom {
@@ -171,19 +303,18 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 	}
 	cut := lc.emitted
 	for i := 0; i < cut; i++ {
-		r := lc.sender[i]
-		idx, ok := rep.byKey[pktKey{r.Flow, r.Seq, r.Kind}]
-		if !ok || rep.fifoLeft[idx] != 0 {
+		if rep.fifoLeft[i] != 0 {
 			cut = i
 			break
 		}
 	}
-	for cut > 0 && sharesTB(lc.viewTBs(rep, cut-1), lc.viewTBs(rep, cut)) {
+	for cut > 0 && sharesTB(rep.Packets[cut-1].TBIDs, rep.Packets[cut].TBIDs) {
 		cut--
 	}
 	if cut == 0 {
 		return
 	}
+	lc.trims++
 
 	if lc.trimKeys == nil {
 		lc.trimKeys = make(map[pktKey]bool, cut)
@@ -195,14 +326,20 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 	for i := 0; i < cut; i++ {
 		r := lc.sender[i]
 		lc.trimKeys[pktKey{r.Flow, r.Seq, r.Kind}] = true
-		for _, id := range lc.viewTBs(rep, i) {
+		for _, id := range rep.Packets[i].TBIDs {
 			lc.trimTBs[id] = true
+		}
+		// Release the duplicate index entry unless a later record of the
+		// same key (a repeated sequence-less kind) re-armed it.
+		k := pktKey{r.Flow, r.Seq, r.Kind}
+		if at, ok := lc.seen[k]; ok && at == r.LocalTime {
+			delete(lc.seen, k)
 		}
 	}
 	// Guard: a TB also carried by a kept packet stays (the boundary rule
 	// makes this unreachable, but the invariant is cheap to enforce).
 	for i := cut; i < len(lc.sender); i++ {
-		for _, id := range lc.viewTBs(rep, i) {
+		for _, id := range rep.Packets[i].TBIDs {
 			delete(lc.trimTBs, id)
 		}
 	}

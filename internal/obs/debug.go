@@ -7,19 +7,35 @@ import (
 	"sync"
 )
 
-// publishOnce guards the expvar publication of the metrics snapshot:
-// expvar.Publish panics on duplicate names.
-var publishOnce sync.Once
+// publishMu guards the expvar publication of the metrics snapshot:
+// expvar.Publish panics on duplicate names and offers no unpublish, so
+// publication must be idempotent rather than sync.Once-guarded — a Once
+// taken by a test or an earlier server instance would leave later
+// DebugHandler calls racing straight into the duplicate-name panic.
+var publishMu sync.Mutex
+
+// publishMetrics publishes the registry under "athena.metrics" exactly
+// once per process, no matter how many handlers are built. The published
+// value is a live Func over TakeSnapshot, so a handler built after a
+// Flush serves the current (flushed) registry state, never the snapshot
+// that existed at first publication.
+func publishMetrics() {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get("athena.metrics") == nil {
+		expvar.Publish("athena.metrics", expvar.Func(func() any { return TakeSnapshot() }))
+	}
+}
 
 // DebugHandler returns the opt-in debug mux: the expvar variable dump
 // (including an "athena.metrics" snapshot of this registry) under
 // /debug/vars and the pprof profile family under /debug/pprof/. It is
 // built on a private mux so importing this package never mutates
-// http.DefaultServeMux.
+// http.DefaultServeMux. Safe to call any number of times — every server
+// in a multi-server process gets its own mux over the one shared
+// publication.
 func DebugHandler() http.Handler {
-	publishOnce.Do(func() {
-		expvar.Publish("athena.metrics", expvar.Func(func() any { return TakeSnapshot() }))
-	})
+	publishMetrics()
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)

@@ -28,6 +28,7 @@ import (
 	"io"
 	"math/bits"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -344,6 +345,11 @@ type Snapshot struct {
 func TakeSnapshot() Snapshot {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
+	return snapshotLocked()
+}
+
+// snapshotLocked reads every registered metric; registry.mu must be held.
+func snapshotLocked() Snapshot {
 	s := Snapshot{}
 	if len(registry.counters) > 0 {
 		s.Counters = make(map[string]int64, len(registry.counters))
@@ -401,4 +407,70 @@ func ResetAll() {
 	for _, h := range registry.histograms {
 		h.Reset()
 	}
+}
+
+// Flush atomically takes a final snapshot and zeroes every registered
+// metric — the handoff point between servers or tests sharing one
+// process. Registrations are kept, and the expvar publication reads the
+// live registry, so anything serving /debug/vars reports the flushed
+// (zeroed, then re-accumulating) values rather than a stale snapshot.
+func Flush() Snapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s := snapshotLocked()
+	for _, c := range registry.counters {
+		c.Reset()
+	}
+	for _, g := range registry.gauges {
+		g.Reset()
+	}
+	for _, h := range registry.histograms {
+		h.Reset()
+	}
+	return s
+}
+
+// Unregister removes every metric registered under name (a name may hold
+// at most one counter, gauge and histogram). The metric instances remain
+// valid — holders can keep recording into them — but they disappear from
+// snapshots and /metrics. Reports whether anything was removed.
+func Unregister(name string) bool {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	_, c := registry.counters[name]
+	_, g := registry.gauges[name]
+	_, h := registry.histograms[name]
+	delete(registry.counters, name)
+	delete(registry.gauges, name)
+	delete(registry.histograms, name)
+	return c || g || h
+}
+
+// UnregisterPrefix removes every metric whose name starts with prefix and
+// reports how many entries were dropped. Session teardown uses it to
+// retire a closed session's "session.<id>." metric family in one call, so
+// a long-lived server's registry does not grow with session churn.
+func UnregisterPrefix(prefix string) int {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	n := 0
+	for name := range registry.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(registry.counters, name)
+			n++
+		}
+	}
+	for name := range registry.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(registry.gauges, name)
+			n++
+		}
+	}
+	for name := range registry.histograms {
+		if strings.HasPrefix(name, prefix) {
+			delete(registry.histograms, name)
+			n++
+		}
+	}
+	return n
 }

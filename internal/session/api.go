@@ -1,0 +1,164 @@
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/obs"
+)
+
+// API metrics.
+var (
+	metHTTPRequests = obs.NewCounter("serve.http.requests")
+	metHTTPErrors   = obs.NewCounter("serve.http.errors")
+	metFeedNs       = obs.NewHistogram("serve.http.feed_ns")
+)
+
+// FeedResponse is the reply to a records POST: how many records of each
+// stream were ingested and the session's post-feed progress.
+type FeedResponse struct {
+	Sender int               `json:"sender"`
+	Core   int               `json:"core"`
+	TBs    int               `json:"tbs"`
+	Feed   core.LiveSnapshot `json:"feed"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx reply.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the session API over this registry:
+//
+//	POST   /v1/sessions                   create (Config body) → 201 Status
+//	GET    /v1/sessions                   list → []Status
+//	POST   /v1/sessions/{id}/records      feed (Batch body) → FeedResponse
+//	GET    /v1/sessions/{id}/attribution  query → Status
+//	DELETE /v1/sessions/{id}              drain and close → final Status
+//	GET    /metrics                       obs registry snapshot (JSON)
+//	GET    /healthz                       liveness
+//
+// Error statuses: 400 for malformed bodies and feed-contract violations
+// (the body names the offending record), 404 for unknown sessions, 409
+// for duplicate IDs or closed sessions, 429 for backpressure and session
+// capacity.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", r.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", r.handleList)
+	mux.HandleFunc("POST /v1/sessions/{id}/records", r.handleFeed)
+	mux.HandleFunc("GET /v1/sessions/{id}/attribution", r.handleAttribution)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", r.handleClose)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return countRequests(mux)
+}
+
+// countRequests wraps the mux with the request counter.
+func countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		metHTTPRequests.Inc()
+		next.ServeHTTP(w, req)
+	})
+}
+
+func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var cfg Config
+	if err := json.NewDecoder(req.Body).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := r.Create(cfg)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+func (r *Registry) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.List())
+}
+
+func (r *Registry) handleFeed(w http.ResponseWriter, req *http.Request) {
+	s, ok := r.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	var b Batch
+	if err := json.NewDecoder(req.Body).Decode(&b); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	snap, err := s.Feed(&b)
+	metFeedNs.ObserveDuration(time.Since(start))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FeedResponse{
+		Sender: len(b.Sender), Core: len(b.Core), TBs: len(b.TBs), Feed: snap,
+	})
+}
+
+func (r *Registry) handleAttribution(w http.ResponseWriter, req *http.Request) {
+	s, ok := r.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (r *Registry) handleClose(w http.ResponseWriter, req *http.Request) {
+	st, err := r.Close(req.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteMetricsJSON(w); err != nil {
+		metHTTPErrors.Inc()
+	}
+}
+
+// statusOf maps service and feed-contract errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists), errors.Is(err, ErrClosed):
+		return http.StatusConflict
+	case errors.Is(err, ErrBackpressure), errors.Is(err, ErrFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrOutOfOrder), errors.Is(err, core.ErrDuplicate),
+		errors.Is(err, core.ErrFlowNotCovered), errors.Is(err, core.ErrTimeRegression),
+		errors.Is(err, ErrInvalidID):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	metHTTPErrors.Inc()
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,199 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"athena/internal/core"
+)
+
+// do round-trips a JSON request through the API handler.
+func do(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr, rr.Body.Bytes()
+}
+
+func TestAPISessionLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Handler()
+
+	// Create.
+	rr, body := do(t, h, "POST", "/v1/sessions", Config{ID: "api1"})
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rr.Code, body)
+	}
+	// Duplicate create conflicts.
+	if rr, _ := do(t, h, "POST", "/v1/sessions", Config{ID: "api1"}); rr.Code != http.StatusConflict {
+		t.Fatalf("dup create: %d", rr.Code)
+	}
+
+	// Feed the whole synthetic workload in chunks over HTTP.
+	in := synthFeed(100)
+	for i := 0; i < len(in.Sender); i += 20 {
+		b := Batch{
+			Sender:    in.Sender[i : i+20],
+			Core:      in.Core[i : i+20],
+			AdvanceTo: in.Sender[i+19].LocalTime,
+		}
+		rr, body := do(t, h, "POST", "/v1/sessions/api1/records", b)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("feed: %d %s", rr.Code, body)
+		}
+		var fr FeedResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.Sender != 20 {
+			t.Fatalf("accepted %d sender records", fr.Sender)
+		}
+	}
+	last := in.Sender[len(in.Sender)-1].LocalTime
+	if rr, body := do(t, h, "POST", "/v1/sessions/api1/records",
+		Batch{AdvanceTo: last + 30*time.Second}); rr.Code != http.StatusOK {
+		t.Fatalf("drain: %d %s", rr.Code, body)
+	}
+
+	// Query attribution: digest must equal the offline correlation.
+	rr, body = do(t, h, "GET", "/v1/sessions/api1/attribution", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("attribution: %d", rr.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Feed.Emitted != 100 || st.Feed.Pending != 0 {
+		t.Fatalf("feed state: %+v", st.Feed)
+	}
+	if want := core.Correlate(in).PacketsDigest(); st.Digest != want {
+		t.Fatalf("HTTP digest %s != offline %s", st.Digest, want)
+	}
+	if st.Attribution.Packets == 0 && len(in.TBs) > 0 {
+		t.Fatal("no attributed packets")
+	}
+
+	// List.
+	rr, body = do(t, h, "GET", "/v1/sessions", nil)
+	var list []Status
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != "api1" {
+		t.Fatalf("list: %s", body)
+	}
+
+	// Delete returns the final status; a second delete is 404.
+	rr, body = do(t, h, "DELETE", "/v1/sessions/api1", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rr.Code, body)
+	}
+	var final Status
+	if err := json.Unmarshal(body, &final); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Closed || final.Digest != st.Digest {
+		t.Fatalf("final status wrong: %+v", final)
+	}
+	if rr, _ := do(t, h, "DELETE", "/v1/sessions/api1", nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", rr.Code)
+	}
+}
+
+func TestAPIErrorMapping(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Handler()
+
+	// Unknown session.
+	if rr, _ := do(t, h, "POST", "/v1/sessions/ghost/records", Batch{}); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown feed: %d", rr.Code)
+	}
+	if rr, _ := do(t, h, "GET", "/v1/sessions/ghost/attribution", nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown query: %d", rr.Code)
+	}
+	// Invalid ID.
+	if rr, _ := do(t, h, "POST", "/v1/sessions", Config{ID: ""}); rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty id: %d", rr.Code)
+	}
+	// Malformed body.
+	req := httptest.NewRequest("POST", "/v1/sessions", bytes.NewBufferString("{nope"))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", rr.Code)
+	}
+
+	// Feed-contract violation surfaces as 400 with the sentinel's message.
+	do(t, h, "POST", "/v1/sessions", Config{ID: "e"})
+	in := synthFeed(2)
+	do(t, h, "POST", "/v1/sessions/e/records", Batch{Sender: in.Sender[1:]})
+	rr2, body := do(t, h, "POST", "/v1/sessions/e/records", Batch{Sender: in.Sender[:1]})
+	if rr2.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-order: %d %s", rr2.Code, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("error envelope missing: %s", body)
+	}
+
+	// Backpressure is 429.
+	do(t, h, "POST", "/v1/sessions", Config{ID: "bp", MaxPending: 5})
+	big := synthFeed(6)
+	if rr, _ := do(t, h, "POST", "/v1/sessions/bp/records", Batch{Sender: big.Sender}); rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("backpressure: %d", rr.Code)
+	}
+
+	// Capacity is 429.
+	reg.MaxSessions = reg.Len()
+	if rr, _ := do(t, h, "POST", "/v1/sessions", Config{ID: "over"}); rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("capacity: %d", rr.Code)
+	}
+}
+
+func TestAPIMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Handler()
+	if rr, _ := do(t, h, "GET", "/healthz", nil); rr.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rr.Code)
+	}
+	rr, body := do(t, h, "GET", "/metrics", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rr.Code)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+}
+
+// TestAPIBatchJSONRoundTrip pins the wire format: a Batch survives an
+// encode/decode cycle bit-for-bit, so captures can be shipped to a remote
+// server without loss.
+func TestAPIBatchJSONRoundTrip(t *testing.T) {
+	in := synthFeed(3)
+	b := Batch{Sender: in.Sender, Core: in.Core, AdvanceTo: time.Second}
+	enc, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Batch
+	if err := json.Unmarshal(enc, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", dec) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", dec, b)
+	}
+}

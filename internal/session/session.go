@@ -1,0 +1,244 @@
+// Package session is the service layer between the streaming correlator
+// and a network server: a registry of independently-fed live attribution
+// sessions with create/feed/query/close lifecycle, per-session bounded
+// memory (the correlator's prefix trim plus a pending-packet admission
+// bound), and per-session observability metrics.
+//
+// The ingest path is goroutine-free by design: feeding a session runs the
+// correlator on the caller's goroutine under the session's mutex, so a
+// server pays no per-session goroutine, no channel hop, and no queueing
+// it did not ask for — concurrency across sessions comes from the callers
+// (one HTTP handler goroutine per in-flight request), serialization
+// within a session from the mutex.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/obs"
+	"athena/internal/packet"
+	"athena/internal/telemetry"
+)
+
+// Service-layer errors, matched with errors.Is. Feed validation errors
+// from the correlator (core.ErrOutOfOrder and friends) pass through
+// unwrapped.
+var (
+	// ErrClosed reports an operation on a closed session.
+	ErrClosed = errors.New("session closed")
+
+	// ErrBackpressure reports a feed batch that would push the session's
+	// pending window past its admission bound. The batch is not ingested;
+	// the feeder should advance the session clock (resolving or expiring
+	// pending packets) before retrying.
+	ErrBackpressure = errors.New("session pending window full")
+)
+
+// DefaultMaxPending bounds how many unresolved packets a session admits
+// before applying backpressure; together with the correlator's prefix
+// trim it caps per-session memory.
+const DefaultMaxPending = 1 << 16
+
+// Config describes one session at creation time.
+type Config struct {
+	// ID is the registry key and metric-name component ("session.<id>.*").
+	ID string `json:"id"`
+
+	// Input carries the session's correlation configuration: flow
+	// coverage, clock offsets, cell timing, match tolerance. Any capture
+	// slices inside are ignored — records arrive through Feed.
+	Input core.Input `json:"input"`
+
+	// FlushAfter overrides the correlator's emission horizon (how long a
+	// packet may stay unresolved before being emitted as-is). Zero keeps
+	// the correlator default.
+	FlushAfter time.Duration `json:"flush_after_ns,omitempty"`
+
+	// MaxPending overrides DefaultMaxPending; negative disables the bound.
+	MaxPending int `json:"max_pending,omitempty"`
+}
+
+// Batch is one feed delivery: any mix of capture records and telemetry,
+// plus the new session clock. Records must respect the correlator's feed
+// contract (per-stream capture order, covered flows); AdvanceTo moves the
+// session clock after the records are ingested and may only grow.
+type Batch struct {
+	Sender    []packet.Record      `json:"sender,omitempty"`
+	Core      []packet.Record      `json:"core,omitempty"`
+	TBs       []telemetry.TBRecord `json:"tbs,omitempty"`
+	AdvanceTo time.Duration        `json:"advance_to_ns"`
+}
+
+// Status is a session's queryable state: feed progress, the canonical
+// attribution digest over everything emitted so far, and the running
+// root-cause breakdown.
+type Status struct {
+	ID     string            `json:"id"`
+	Closed bool              `json:"closed,omitempty"`
+	Feed   core.LiveSnapshot `json:"feed"`
+
+	// Digest is the streaming attribution digest (core.ViewHasher) over
+	// DigestViews emitted views; after a full replay it equals the
+	// offline core.Report.PacketsDigest of the same feed.
+	Digest      string `json:"digest"`
+	DigestViews int    `json:"digest_views"`
+
+	// Attribution is the running aggregate over every emitted view.
+	Attribution Attribution `json:"attribution"`
+}
+
+// Attribution is the JSON form of the running root-cause breakdown.
+type Attribution struct {
+	Packets      int                    `json:"packets"`
+	RetxAffected int                    `json:"retx_affected"`
+	BSRServed    int                    `json:"bsr_served"`
+	TotalMS      map[core.Cause]float64 `json:"total_ms,omitempty"`
+}
+
+// Session is one live attribution feed. All methods are safe for
+// concurrent use; Feed calls serialize on the session mutex.
+type Session struct {
+	id string
+
+	mu     sync.Mutex
+	lc     *core.LiveCorrelator
+	hasher *core.ViewHasher
+	attr   core.Attribution
+	closed bool
+
+	maxPending int
+
+	// Per-session metrics, registered under "session.<id>." and retired
+	// when the session closes.
+	metIngest  *obs.Histogram // ingest_ns: wall time of each Feed call
+	metPending *obs.Gauge     // pending: unresolved packets after last feed
+	metTrims   *obs.Gauge     // trims: correlator state trims so far
+}
+
+func newSession(cfg Config) *Session {
+	s := &Session{
+		id:         cfg.ID,
+		hasher:     core.NewViewHasher(),
+		maxPending: cfg.MaxPending,
+	}
+	if s.maxPending == 0 {
+		s.maxPending = DefaultMaxPending
+	}
+	s.lc = core.NewLive(cfg.Input, func(v core.PacketView) {
+		s.hasher.Add(v)
+		s.attr.Accumulate(v)
+	})
+	if cfg.FlushAfter > 0 {
+		s.lc.FlushAfter = cfg.FlushAfter
+	}
+	prefix := "session." + cfg.ID + "."
+	s.metIngest = obs.NewHistogram(prefix + "ingest_ns")
+	s.metPending = obs.NewGauge(prefix + "pending")
+	s.metTrims = obs.NewGauge(prefix + "trims")
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Feed ingests one batch on the caller's goroutine. Records are applied
+// in order (sender, core, TBs, then the clock advance); on a validation
+// error the offending record and everything after it are not ingested,
+// the error is returned, and the session stays usable — the feeder can
+// correct its stream and continue. A batch whose sender records would
+// overflow the pending bound is rejected whole with ErrBackpressure.
+func (s *Session) Feed(b *Batch) (core.LiveSnapshot, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return core.LiveSnapshot{}, fmt.Errorf("%w: %s", ErrClosed, s.id)
+	}
+	if snap := s.lc.Snapshot(); s.maxPending > 0 && snap.Pending+len(b.Sender) > s.maxPending {
+		return snap, fmt.Errorf("%w: %d pending + %d arriving > %d",
+			ErrBackpressure, snap.Pending, len(b.Sender), s.maxPending)
+	}
+	if err := s.feedLocked(b); err != nil {
+		snap := s.lc.Snapshot()
+		s.observeLocked(start, snap)
+		return snap, err
+	}
+	snap := s.lc.Snapshot()
+	s.observeLocked(start, snap)
+	return snap, nil
+}
+
+func (s *Session) feedLocked(b *Batch) error {
+	for i := range b.Sender {
+		if err := s.lc.OnSenderRecord(b.Sender[i]); err != nil {
+			return err
+		}
+	}
+	for i := range b.Core {
+		if err := s.lc.OnCoreRecord(b.Core[i]); err != nil {
+			return err
+		}
+	}
+	for i := range b.TBs {
+		if err := s.lc.OnTB(b.TBs[i]); err != nil {
+			return err
+		}
+	}
+	if b.AdvanceTo > 0 {
+		return s.lc.Advance(b.AdvanceTo)
+	}
+	return nil
+}
+
+func (s *Session) observeLocked(start time.Time, snap core.LiveSnapshot) {
+	s.metIngest.ObserveDuration(time.Since(start))
+	s.metPending.Set(int64(snap.Pending))
+	s.metTrims.Set(snap.Trims)
+}
+
+// Status reports the session's current state without disturbing the feed.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+func (s *Session) statusLocked() Status {
+	return Status{
+		ID:          s.id,
+		Closed:      s.closed,
+		Feed:        s.lc.Snapshot(),
+		Digest:      s.hasher.Sum(),
+		DigestViews: s.hasher.Count(),
+		Attribution: Attribution{
+			Packets:      s.attr.Packets,
+			RetxAffected: s.attr.RetxAffected,
+			BSRServed:    s.attr.BSRServed,
+			TotalMS:      s.attr.TotalMS,
+		},
+	}
+}
+
+// close drains the session (one far-future advance flushes every pending
+// packet through the horizon), marks it closed, retires its metrics, and
+// returns the final status. Idempotent via the registry, which removes
+// the session before calling.
+func (s *Session) close() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		snap := s.lc.Snapshot()
+		if snap.Pending > 0 {
+			// The regression guard cannot fire: the drain clock strictly
+			// exceeds any Advance the feed performed.
+			_ = s.lc.Advance(snap.Advanced + 365*24*time.Hour)
+		}
+		s.closed = true
+		obs.UnregisterPrefix("session." + s.id + ".")
+	}
+	return s.statusLocked()
+}

@@ -1,0 +1,260 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/obs"
+	"athena/internal/packet"
+)
+
+// synthFeed builds a simple resolvable workload: n video packets on flow
+// 1, each seen at the core 3 ms after sending, 10 ms apart. Returns the
+// batch-equivalent Input for offline comparison.
+func synthFeed(n int) core.Input {
+	in := core.Input{}
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		s := packet.Record{
+			Point: packet.PointSender, Kind: packet.KindVideo,
+			Flow: 1, Seq: uint32(i), Size: 1200, LocalTime: at,
+		}
+		c := s
+		c.Point = packet.PointCore
+		c.LocalTime = at + 3*time.Millisecond
+		in.Sender = append(in.Sender, s)
+		in.Core = append(in.Core, c)
+	}
+	return in
+}
+
+// feedAll streams an input into a session in chunks of batchSize packets,
+// advancing past each chunk, with a final drain advance.
+func feedAll(t *testing.T, s *Session, in core.Input, batchSize int) {
+	t.Helper()
+	for i := 0; i < len(in.Sender); i += batchSize {
+		j := i + batchSize
+		if j > len(in.Sender) {
+			j = len(in.Sender)
+		}
+		b := Batch{
+			Sender:    in.Sender[i:j],
+			Core:      in.Core[i:j],
+			AdvanceTo: in.Sender[j-1].LocalTime,
+		}
+		if _, err := s.Feed(&b); err != nil {
+			t.Fatalf("feed chunk %d: %v", i, err)
+		}
+	}
+	last := in.Sender[len(in.Sender)-1].LocalTime
+	if _, err := s.Feed(&Batch{AdvanceTo: last + 30*time.Second}); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestSessionLifecycleAndDigest(t *testing.T) {
+	reg := NewRegistry()
+	s, err := reg.Create(Config{ID: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := synthFeed(200)
+	feedAll(t, s, in, 7)
+
+	st := s.Status()
+	if st.Feed.Pending != 0 || st.Feed.Emitted != 200 {
+		t.Fatalf("feed incomplete: %+v", st.Feed)
+	}
+	if want := core.Correlate(in).PacketsDigest(); st.Digest != want {
+		t.Fatalf("session digest %s != offline %s", st.Digest, want)
+	}
+	if st.DigestViews != 200 {
+		t.Fatalf("digest covers %d views", st.DigestViews)
+	}
+
+	final, err := reg.Close("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Closed || final.Digest != st.Digest {
+		t.Fatalf("close changed the digest: %+v", final)
+	}
+	if _, err := s.Feed(&Batch{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("feed after close: %v", err)
+	}
+	if _, ok := reg.Get("s1"); ok {
+		t.Fatal("closed session still registered")
+	}
+}
+
+func TestSessionCloseDrainsPending(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := reg.Create(Config{ID: "drain"})
+	in := synthFeed(50)
+	// Feed without ever advancing: everything stays pending.
+	if _, err := s.Feed(&Batch{Sender: in.Sender, Core: in.Core}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Status().Feed.Pending != 50 {
+		t.Fatal("expected 50 pending")
+	}
+	st, err := reg.Close("drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Feed.Pending != 0 || st.Feed.Emitted != 50 {
+		t.Fatalf("close did not drain: %+v", st.Feed)
+	}
+	if want := core.Correlate(in).PacketsDigest(); st.Digest != want {
+		t.Fatal("drained digest diverges from offline")
+	}
+}
+
+func TestSessionBackpressure(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := reg.Create(Config{ID: "bp", MaxPending: 10})
+	in := synthFeed(11)
+	_, err := s.Feed(&Batch{Sender: in.Sender})
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure, got %v", err)
+	}
+	if s.Status().Feed.BufferedSender != 0 {
+		t.Fatal("rejected batch was partially ingested")
+	}
+	// Under the bound the same records pass.
+	if _, err := s.Feed(&Batch{Sender: in.Sender[:10], Core: in.Core[:10]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionFeedErrorKeepsUsable(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := reg.Create(Config{ID: "err"})
+	in := synthFeed(4)
+	bad := in.Sender[2]
+	bad.LocalTime = 0 // behind the stream head once 0 and 1 are in
+	if _, err := s.Feed(&Batch{Sender: in.Sender[:2]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Feed(&Batch{Sender: []packet.Record{bad}}); !errors.Is(err, core.ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder through the session layer, got %v", err)
+	}
+	if _, err := s.Feed(&Batch{Sender: in.Sender[2:], Core: in.Core, AdvanceTo: time.Minute}); err != nil {
+		t.Fatalf("session unusable after feed error: %v", err)
+	}
+	if st := s.Status(); st.Feed.Emitted != 4 {
+		t.Fatalf("emitted %d, want 4", st.Feed.Emitted)
+	}
+}
+
+func TestRegistryCreateErrors(t *testing.T) {
+	reg := NewRegistry()
+	reg.MaxSessions = 2
+	if _, err := reg.Create(Config{ID: ""}); !errors.Is(err, ErrInvalidID) {
+		t.Fatalf("empty id: %v", err)
+	}
+	if _, err := reg.Create(Config{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(Config{ID: "a"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup id: %v", err)
+	}
+	if _, err := reg.Create(Config{ID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(Config{ID: "c"}); !errors.Is(err, ErrFull) {
+		t.Fatalf("capacity: %v", err)
+	}
+	if got := len(reg.List()); got != 2 {
+		t.Fatalf("listed %d sessions", got)
+	}
+}
+
+func TestSessionMetricsLifecycle(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	reg := NewRegistry()
+	s, _ := reg.Create(Config{ID: "met"})
+	in := synthFeed(20)
+	feedAll(t, s, in, 5)
+
+	snap := obs.TakeSnapshot()
+	if snap.Histograms["session.met.ingest_ns"].Count == 0 {
+		t.Fatal("ingest_ns not recorded")
+	}
+	if _, ok := snap.Gauges["session.met.pending"]; !ok {
+		t.Fatal("pending gauge missing")
+	}
+	if snap.Gauges["session.met.trims"] == 0 {
+		t.Fatal("trims gauge never moved despite full drains")
+	}
+
+	reg.Close("met")
+	snap = obs.TakeSnapshot()
+	for name := range snap.Histograms {
+		if name == "session.met.ingest_ns" {
+			t.Fatal("closed session's metrics survived")
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises the documented concurrency contract
+// under -race: many sessions fed in parallel while another goroutine
+// lists and queries.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const n = 8
+	var feeders sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		s, err := reg.Create(Config{ID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeders.Add(1)
+		go func(s *Session) {
+			defer feeders.Done()
+			in := synthFeed(100)
+			for j := 0; j < len(in.Sender); j += 10 {
+				b := Batch{
+					Sender:    in.Sender[j : j+10],
+					Core:      in.Core[j : j+10],
+					AdvanceTo: in.Sender[j+9].LocalTime,
+				}
+				if _, err := s.Feed(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	stop := make(chan struct{})
+	listerDone := make(chan struct{})
+	go func() {
+		defer close(listerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.List()
+			}
+		}
+	}()
+	feeders.Wait()
+	close(stop)
+	<-listerDone
+
+	want := core.Correlate(synthFeed(100)).PacketsDigest()
+	for _, st := range reg.CloseAll() {
+		if st.Digest != want {
+			t.Fatalf("session %s digest diverged under concurrency", st.ID)
+		}
+	}
+	if reg.Len() != 0 {
+		t.Fatal("CloseAll left sessions behind")
+	}
+}
