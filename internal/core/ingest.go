@@ -21,7 +21,10 @@ import (
 //   - sender and core records must arrive in capture order (non-decreasing
 //     LocalTime per stream) — ErrOutOfOrder otherwise;
 //   - a sender record identical in (flow, seq, kind, LocalTime) to one
-//     already in the retained window is a replay — ErrDuplicate;
+//     already fed is a replay — ErrDuplicate. Detection survives trims:
+//     records behind the capture head fail the order check, and the
+//     duplicate index retains head-timestamp entries across a full-drain
+//     reset;
 //   - when Input.Flows is set, every sender and core record must belong to
 //     a listed flow — ErrFlowNotCovered. The sender capture is the FIFO
 //     the TB matcher replays, so an uncovered record would silently shift

@@ -81,6 +81,62 @@ func TestIngestAllowsRepeatedKeyAtDistinctTimes(t *testing.T) {
 	}
 }
 
+// A full-drain trim resets the retained window, but replay detection must
+// survive it: a replayed record at exactly the capture-head timestamp
+// passes the order check and can only be caught by the duplicate index.
+func TestIngestRejectsReplayAcrossDrain(t *testing.T) {
+	lc := NewLive(Input{}, nil)
+	lc.FlushAfter = 50 * time.Millisecond
+	for i, at := range []time.Duration{10, 20, 30} {
+		if err := lc.OnSenderRecord(sRec(1, uint32(i), packet.KindVideo, at*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := sRec(1, 3, packet.KindVideo, 40*time.Millisecond)
+	if err := lc.OnSenderRecord(head); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Advance(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if snap := lc.Snapshot(); snap.Pending != 0 || snap.Trims == 0 {
+		t.Fatalf("full drain expected before the replay: %+v", snap)
+	}
+	if err := lc.OnSenderRecord(head); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("head replay after drain: want ErrDuplicate, got %v", err)
+	}
+	if err := lc.OnSenderRecord(sRec(1, 1, packet.KindVideo, 20*time.Millisecond)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("old replay after drain: want ErrOutOfOrder, got %v", err)
+	}
+	if err := lc.OnSenderRecord(sRec(1, 4, packet.KindVideo, 50*time.Millisecond)); err != nil {
+		t.Fatalf("fresh record after drain must pass: %v", err)
+	}
+}
+
+// Drain must flush every pending packet regardless of where the feeder
+// left the clock — including feeds that never advanced at all and use
+// absolute (epoch-like) capture times far ahead of the zero clock.
+func TestDrainFlushesWithoutAdvance(t *testing.T) {
+	const base = 1700000000 * time.Second
+	var views int
+	lc := NewLive(Input{}, func(PacketView) { views++ })
+	for i := 0; i < 20; i++ {
+		at := base + time.Duration(i)*10*time.Millisecond
+		if err := lc.OnSenderRecord(sRec(1, uint32(i), packet.KindVideo, at)); err != nil {
+			t.Fatal(err)
+		}
+		if err := lc.OnCoreRecord(cRec(1, uint32(i), packet.KindVideo, at+3*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := lc.Snapshot(); snap.Pending != 0 || views != 20 {
+		t.Fatalf("drain left %d pending, emitted %d of 20 views", snap.Pending, views)
+	}
+}
+
 func TestIngestRejectsUncoveredFlow(t *testing.T) {
 	lc := NewLive(Input{Flows: []uint32{1, 2}}, nil)
 	if err := lc.OnSenderRecord(sRec(1, 0, packet.KindVideo, time.Millisecond)); err != nil {

@@ -287,7 +287,16 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 		lc.sender = lc.sender[:0]
 		lc.core = lc.core[:0]
 		lc.emitted = 0
-		clear(lc.seen)
+		// Retain the duplicate-index entries at the sender capture head:
+		// replays of older records are rejected by the order check
+		// (strictly behind lastSenderAt), but a replay at exactly the head
+		// timestamp passes it and must still be caught as a duplicate
+		// across the reset.
+		for k, at := range lc.seen {
+			if at != lc.lastSenderAt {
+				delete(lc.seen, k)
+			}
+		}
 		keepFrom := horizon - time.Second
 		tbCut := 0
 		for tbCut < len(lc.tbs) && lc.tbs[tbCut].At < keepFrom {
@@ -387,6 +396,20 @@ func (lc *LiveCorrelator) trim(horizon time.Duration, rep *Report, senderOff tim
 		keptTBs = append(keptTBs, tb)
 	}
 	lc.tbs = keptTBs
+}
+
+// Drain pushes the clock just far enough that every buffered sender
+// record crosses the flush horizon and is emitted — the session-close
+// path. The drain clock is derived from both the Advance head and the
+// newest sender record translated to sent time, so it flushes everything
+// even when the feeder never advanced the clock, or when record
+// LocalTimes are absolute (e.g. epoch-based) and far ahead of it.
+func (lc *LiveCorrelator) Drain() error {
+	now := lc.advanced
+	if head := lc.lastSenderAt - lc.in.offset(packet.PointSender); head > now {
+		now = head
+	}
+	return lc.Advance(now + lc.FlushAfter + time.Second)
 }
 
 // sharesTB reports whether two TB id sets intersect.

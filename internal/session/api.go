@@ -17,6 +17,15 @@ var (
 	metFeedNs       = obs.NewHistogram("serve.http.feed_ns")
 )
 
+// Request-body limits: decoding is bounded before any JSON is read, so a
+// single oversized or streaming POST cannot exhaust server memory
+// regardless of the per-session admission bound. A create carries one
+// Config; a feed carries one Batch of records.
+const (
+	maxCreateBytes = 1 << 20 // 1 MiB
+	maxFeedBytes   = 8 << 20 // 8 MiB
+)
+
 // FeedResponse is the reply to a records POST: how many records of each
 // stream were ingested and the session's post-feed progress.
 type FeedResponse struct {
@@ -43,8 +52,8 @@ type errorBody struct {
 //
 // Error statuses: 400 for malformed bodies and feed-contract violations
 // (the body names the offending record), 404 for unknown sessions, 409
-// for duplicate IDs or closed sessions, 429 for backpressure and session
-// capacity.
+// for duplicate IDs or closed sessions, 413 for request bodies past the
+// decode bound, 429 for backpressure and session capacity.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", r.handleCreate)
@@ -69,9 +78,10 @@ func countRequests(next http.Handler) http.Handler {
 }
 
 func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
+	req.Body = http.MaxBytesReader(w, req.Body, maxCreateBytes)
 	var cfg Config
 	if err := json.NewDecoder(req.Body).Decode(&cfg); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	s, err := r.Create(cfg)
@@ -92,9 +102,10 @@ func (r *Registry) handleFeed(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusNotFound, ErrNotFound)
 		return
 	}
+	req.Body = http.MaxBytesReader(w, req.Body, maxFeedBytes)
 	var b Batch
 	if err := json.NewDecoder(req.Body).Decode(&b); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	start := time.Now()
@@ -132,6 +143,16 @@ func handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := obs.WriteMetricsJSON(w); err != nil {
 		metHTTPErrors.Inc()
 	}
+}
+
+// decodeStatus maps a request-body decode failure to an HTTP status:
+// 413 when the bounded reader cut the body off, 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // statusOf maps service and feed-contract errors to HTTP statuses.

@@ -163,6 +163,41 @@ func TestAPIErrorMapping(t *testing.T) {
 	}
 }
 
+// Oversized request bodies are cut off at the decode bound and map to
+// 413, before the server buffers an unbounded payload.
+func TestAPIBodyTooLarge(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Handler()
+
+	// Valid JSON whose string value runs past the create bound.
+	var buf bytes.Buffer
+	buf.WriteString(`{"id":"`)
+	buf.Write(bytes.Repeat([]byte("a"), maxCreateBytes+1))
+	buf.WriteString(`"}`)
+	req := httptest.NewRequest("POST", "/v1/sessions", &buf)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized create: %d", rr.Code)
+	}
+
+	do(t, h, "POST", "/v1/sessions", Config{ID: "big"})
+	buf.Reset()
+	buf.WriteString(`{"advance_to_ns":1,"padding":"`)
+	buf.Write(bytes.Repeat([]byte("b"), maxFeedBytes+1))
+	buf.WriteString(`"}`)
+	req = httptest.NewRequest("POST", "/v1/sessions/big/records", &buf)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized feed: %d", rr.Code)
+	}
+	// The session itself is untouched and stays usable.
+	if rr, body := do(t, h, "POST", "/v1/sessions/big/records", Batch{AdvanceTo: time.Second}); rr.Code != http.StatusOK {
+		t.Fatalf("session unusable after oversized feed: %d %s", rr.Code, body)
+	}
+}
+
 func TestAPIMetricsAndHealth(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Handler()

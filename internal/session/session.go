@@ -208,6 +208,16 @@ func (s *Session) Status() Status {
 }
 
 func (s *Session) statusLocked() Status {
+	// TotalMS must be a copy: the returned Status is JSON-encoded after
+	// the mutex is released, while concurrent Feed calls keep mutating
+	// the live map through the emit callback.
+	var totals map[core.Cause]float64
+	if len(s.attr.TotalMS) > 0 {
+		totals = make(map[core.Cause]float64, len(s.attr.TotalMS))
+		for c, ms := range s.attr.TotalMS {
+			totals[c] = ms
+		}
+	}
 	return Status{
 		ID:          s.id,
 		Closed:      s.closed,
@@ -218,27 +228,28 @@ func (s *Session) statusLocked() Status {
 			Packets:      s.attr.Packets,
 			RetxAffected: s.attr.RetxAffected,
 			BSRServed:    s.attr.BSRServed,
-			TotalMS:      s.attr.TotalMS,
+			TotalMS:      totals,
 		},
 	}
 }
 
-// close drains the session (one far-future advance flushes every pending
-// packet through the horizon), marks it closed, retires its metrics, and
-// returns the final status. Idempotent via the registry, which removes
-// the session before calling.
+// close drains the session (pushing the clock past every buffered sender
+// record's flush horizon, wherever the feed left the clock), marks it
+// closed, and returns the final status. Idempotent via the registry,
+// which removes the session — and retires its metric prefix, under the
+// registry lock so a same-id Create cannot interleave — before calling.
 func (s *Session) close() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.closed {
-		snap := s.lc.Snapshot()
-		if snap.Pending > 0 {
-			// The regression guard cannot fire: the drain clock strictly
-			// exceeds any Advance the feed performed.
-			_ = s.lc.Advance(snap.Advanced + 365*24*time.Hour)
+		if s.lc.Pending() > 0 {
+			// Drain derives its clock from both the Advance head and the
+			// last sender record, so pending packets are flushed even if
+			// the feeder never advanced the clock or used absolute
+			// (e.g. epoch-based) record times far ahead of it.
+			_ = s.lc.Drain()
 		}
 		s.closed = true
-		obs.UnregisterPrefix("session." + s.id + ".")
 	}
 	return s.statusLocked()
 }

@@ -9,6 +9,7 @@ import (
 	"athena/internal/core"
 	"athena/internal/obs"
 	"athena/internal/packet"
+	"athena/internal/telemetry"
 )
 
 // synthFeed builds a simple resolvable workload: n video packets on flow
@@ -27,6 +28,22 @@ func synthFeed(n int) core.Input {
 		c.LocalTime = at + 3*time.Millisecond
 		in.Sender = append(in.Sender, s)
 		in.Core = append(in.Core, c)
+	}
+	return in
+}
+
+// synthFeedTB extends synthFeed with one TB per packet, so emitted views
+// carry TB matches and Accumulate writes the per-cause totals map.
+func synthFeedTB(n int) core.Input {
+	in := synthFeed(n)
+	in.SlotDuration = 500 * time.Microsecond
+	for i := range in.Sender {
+		in.TBs = append(in.TBs, telemetry.TBRecord{
+			TBID: uint64(i + 1), UE: 1,
+			At:  in.Sender[i].LocalTime + time.Millisecond,
+			TBS: 1500, UsedBytes: in.Sender[i].Size,
+			Grant: telemetry.GrantProactive,
+		})
 	}
 	return in
 }
@@ -110,6 +127,115 @@ func TestSessionCloseDrainsPending(t *testing.T) {
 	}
 	if want := core.Correlate(in).PacketsDigest(); st.Digest != want {
 		t.Fatal("drained digest diverges from offline")
+	}
+}
+
+// A feeder that never advances the clock and stamps records with an
+// absolute (epoch-like) capture clock must still be fully drained by
+// close: the drain clock derives from the sender head, not just the
+// Advance head.
+func TestSessionCloseDrainsWithoutAdvance(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := reg.Create(Config{ID: "abs"})
+	in := synthFeed(30)
+	const base = 1700000000 * time.Second
+	for i := range in.Sender {
+		in.Sender[i].LocalTime += base
+		in.Core[i].LocalTime += base
+	}
+	if _, err := s.Feed(&Batch{Sender: in.Sender, Core: in.Core}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := reg.Close("abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Feed.Pending != 0 || st.Feed.Emitted != 30 {
+		t.Fatalf("close did not drain the absolute-clock feed: %+v", st.Feed)
+	}
+}
+
+// TestSessionStatusDetachedFromFeed pins the Status snapshot contract
+// under -race: the returned Attribution.TotalMS is a copy, so a reader
+// may iterate (or JSON-encode) it after the session mutex is released
+// while concurrent feeds keep accumulating into the live map.
+func TestSessionStatusDetachedFromFeed(t *testing.T) {
+	reg := NewRegistry()
+	s, err := reg.Create(Config{ID: "detach"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := synthFeedTB(3000)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	ready := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(ready)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum float64
+			for _, ms := range s.Status().Attribution.TotalMS {
+				sum += ms
+			}
+			_ = sum
+		}
+	}()
+	<-ready // overlap the reader with the whole feed, not just its tail
+	ti := 0
+	for i := 0; i < len(in.Sender); i += 10 {
+		j := i + 10
+		if j > len(in.Sender) {
+			j = len(in.Sender)
+		}
+		adv := in.Sender[j-1].LocalTime + 2*time.Millisecond
+		b := Batch{Sender: in.Sender[i:j], Core: in.Core[i:j], AdvanceTo: adv}
+		for ti < len(in.TBs) && in.TBs[ti].At <= adv {
+			b.TBs = append(b.TBs, in.TBs[ti])
+			ti++
+		}
+		if _, err := s.Feed(&b); err != nil {
+			t.Fatalf("feed %d: %v", i, err)
+		}
+	}
+	close(stop)
+	<-done
+	st, err := reg.Close("detach")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attribution.Packets == 0 {
+		t.Fatal("workload produced no attributed packets; race coverage is vacuous")
+	}
+	if want := core.Correlate(in).PacketsDigest(); st.Digest != want {
+		t.Fatalf("digest diverged: %s vs %s", st.Digest, want)
+	}
+}
+
+// Reusing an id after Close must leave the new session's metrics
+// registered: the registry retires the metric prefix under its own lock
+// before the id becomes reusable.
+func TestSessionMetricsSurviveRecreate(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	reg := NewRegistry()
+	reg.Create(Config{ID: "reuse"})
+	if _, err := reg.Close("reuse"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := reg.Create(Config{ID: "reuse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := synthFeed(10)
+	feedAll(t, s, in, 5)
+	snap := obs.TakeSnapshot()
+	if snap.Histograms["session.reuse.ingest_ns"].Count == 0 {
+		t.Fatal("recreated session's metrics missing after a same-id close")
 	}
 }
 
