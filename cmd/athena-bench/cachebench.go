@@ -1,0 +1,116 @@
+package main
+
+// -cache-bench: measure what the persistent result store buys. The same
+// selection is swept twice against a fresh store — cold (every
+// generator runs, every result is written) then warm (every result is
+// served from disk) — with the shared scenario pool flushed in between
+// so the warm pass's speedup is the store's alone, not the in-memory
+// memo's. The report is committed as BENCH_cache.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"athena/internal/experiment"
+	"athena/internal/runner"
+	"athena/internal/store"
+)
+
+// cacheBenchReport is the JSON written by -cache-bench.
+type cacheBenchReport struct {
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	CPUs        int                `json:"cpus"`
+	Experiments int                `json:"experiments"`
+	Options     experiment.Options `json:"options"`
+	Parallel    int                `json:"parallel"`
+	ColdS       float64            `json:"cold_s"`
+	WarmS       float64            `json:"warm_s"`
+	Speedup     float64            `json:"speedup"`
+	DigestEqual bool               `json:"digest_equal"`
+	Store       store.Stats        `json:"store"`
+	StoreBytes  int64              `json:"store_bytes"`
+}
+
+func runCacheBench(sel []experiment.Experiment, opts experiment.Options, parallel int, dir string, maxMB int64, namespace, out string) error {
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "athena-cache-bench-*"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	} else {
+		// Bench a fresh store even when -store points at a real one.
+		dir = filepath.Join(dir, "cache-bench")
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	s, err := store.Open(dir, store.Config{MaxBytes: maxMB << 20, Metrics: "store"})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	cfg := experiment.SweepConfig{Options: opts, Parallel: parallel, Cache: s, CacheNamespace: namespace}
+	sweep := func(label string) ([]experiment.RunResult, float64) {
+		runner.Default.Flush()
+		t0 := time.Now()
+		rs := experiment.Sweep(context.Background(), sel, cfg)
+		wall := time.Since(t0)
+		fmt.Printf("cache-bench %s: %d experiments in %v\n", label, len(rs), wall.Round(time.Millisecond))
+		return rs, wall.Seconds()
+	}
+	cold, coldS := sweep("cold")
+	warm, warmS := sweep("warm")
+
+	rep := cacheBenchReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUs:        runtime.NumCPU(),
+		Experiments: len(sel),
+		Options:     opts,
+		Parallel:    parallel,
+		ColdS:       coldS,
+		WarmS:       warmS,
+		Speedup:     coldS / warmS,
+		DigestEqual: true,
+		Store:       s.Stats(),
+		StoreBytes:  s.Size(),
+	}
+	for i := range sel {
+		if cold[i].Err != nil {
+			return fmt.Errorf("%s (cold): %w", sel[i].ID, cold[i].Err)
+		}
+		if warm[i].Err != nil {
+			return fmt.Errorf("%s (warm): %w", sel[i].ID, warm[i].Err)
+		}
+		if cold[i].Cached {
+			return fmt.Errorf("%s hit on a cold store", sel[i].ID)
+		}
+		if !warm[i].Cached {
+			return fmt.Errorf("%s missed on a warm store", sel[i].ID)
+		}
+		if cold[i].Digest != warm[i].Digest {
+			rep.DigestEqual = false
+		}
+	}
+	if !rep.DigestEqual {
+		return fmt.Errorf("cold and warm digests diverge; refusing to write %s", out)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cache-bench: cold %.2fs, warm %.2fs (%.1fx), digests equal; wrote %s\n",
+		coldS, warmS, rep.Speedup, out)
+	return nil
+}

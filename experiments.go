@@ -13,6 +13,7 @@ import (
 	"context"
 
 	"athena/internal/experiment"
+	"athena/internal/store"
 )
 
 // Series is one named line of a figure.
@@ -86,3 +87,29 @@ func NewManifest(opts Options, results []RunResult) *Manifest {
 // DiffManifests compares two manifests digest-for-digest, returning one
 // line per difference; empty means byte-identical artifacts.
 func DiffManifests(a, b *Manifest) []string { return experiment.DiffDigests(a, b) }
+
+// Shard identifies one of Count equal partitions of a selection; see
+// ParseShard and Shard.Partition.
+type Shard = experiment.Shard
+
+// ParseShard parses an "i/n" shard spec (1-based, 1 ≤ i ≤ n).
+func ParseShard(s string) (Shard, error) { return experiment.ParseShard(s) }
+
+// MergeManifests recombines per-shard sweep manifests into one manifest
+// digest-identical to an unsharded run over the union selection. The
+// inputs must share options and have disjoint experiment sets.
+func MergeManifests(ms []*Manifest) (*Manifest, error) { return experiment.MergeManifests(ms) }
+
+// ResultStore is the on-disk content-addressed result cache; set
+// SweepConfig.Cache (with a CacheNamespace identifying the code
+// revision) to make repeated sweeps incremental.
+type ResultStore = store.Store
+
+// ResultStoreConfig tunes OpenResultStore (size budget, metrics prefix).
+type ResultStoreConfig = store.Config
+
+// OpenResultStore opens (creating if needed) a persistent result store
+// rooted at dir.
+func OpenResultStore(dir string, cfg ResultStoreConfig) (*ResultStore, error) {
+	return store.Open(dir, cfg)
+}

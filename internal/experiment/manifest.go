@@ -13,10 +13,12 @@ import (
 //
 //	1: initial layout
 //	2: per-entry queue_wait_ms, recorded separately from wall_ms
+//	3: per-entry cached flag and store_wait_ms (persistent result
+//	   store lookups, internal/store)
 //
 // ReadManifest accepts any schema up to the current one; older readers
 // reject newer manifests rather than silently dropping fields.
-const ManifestSchema = 2
+const ManifestSchema = 3
 
 // ManifestEntry records one experiment of a sweep: its registry
 // metadata, the options it ran under, its wall time, the content digest
@@ -34,11 +36,18 @@ type ManifestEntry struct {
 	// QueueWaitMS (schema >= 2) is how long the experiment waited
 	// behind the sweep's parallelism bound before running; wall_ms
 	// counts only the generator itself.
-	QueueWaitMS float64  `json:"queue_wait_ms"`
-	Digest      string   `json:"digest"`
-	Artifacts   []string `json:"artifacts,omitempty"`
-	Error       string   `json:"error,omitempty"`
-	Skipped     bool     `json:"skipped,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// StoreWaitMS (schema >= 3) is the persistent-store lookup and
+	// validation time, hit or miss; zero when no store was configured.
+	StoreWaitMS float64 `json:"store_wait_ms,omitempty"`
+	// Cached (schema >= 3) marks entries recalled from the persistent
+	// result store rather than regenerated; their wall_ms is ~zero and
+	// their digest was revalidated on load.
+	Cached    bool     `json:"cached,omitempty"`
+	Digest    string   `json:"digest"`
+	Artifacts []string `json:"artifacts,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	Skipped   bool     `json:"skipped,omitempty"`
 }
 
 // Manifest is the JSON run record a sweep emits for regression diffing:
@@ -63,6 +72,8 @@ func NewManifest(opts Options, results []RunResult) *Manifest {
 			Options:     opts,
 			WallMS:      math.Round(r.Wall.Seconds()*1e6) / 1e3, // µs resolution
 			QueueWaitMS: math.Round(r.QueueWait.Seconds()*1e6) / 1e3,
+			StoreWaitMS: math.Round(r.StoreWait.Seconds()*1e6) / 1e3,
+			Cached:      r.Cached,
 			Digest:      r.Digest,
 			Artifacts:   r.Artifacts,
 			Skipped:     r.Skipped,

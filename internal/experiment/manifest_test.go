@@ -34,7 +34,7 @@ func manifestFixture() (Options, []RunResult) {
 }
 
 const goldenManifest = `{
-  "schema": 2,
+  "schema": 3,
   "options": {
     "seed": 7,
     "scale": 0.25
@@ -156,6 +156,34 @@ func TestManifestReadsSchemaV1(t *testing.T) {
 	}
 	cur := NewManifest(Options{Seed: 7, Scale: 0.25}, nil)
 	cur.Experiments = append(cur.Experiments, ManifestEntry{ID: "F3", Digest: "abc"})
+	if diffs := DiffDigests(m, cur); len(diffs) != 0 {
+		t.Fatalf("cross-schema diff not clean: %v", diffs)
+	}
+}
+
+// TestManifestReadsSchemaV2 pins backwards compatibility across the
+// schema-3 bump: a v2 manifest (pre cached/store_wait_ms) still parses
+// with the new fields zero, and diffs cleanly against a current one.
+func TestManifestReadsSchemaV2(t *testing.T) {
+	v2 := `{
+  "schema": 2,
+  "options": {"seed": 7, "scale": 0.25},
+  "experiments": [
+    {"id": "F3", "title": "first", "family": "figure",
+     "options": {"seed": 7, "scale": 0.25},
+     "wall_ms": 1.5, "queue_wait_ms": 0.25, "digest": "abc"}
+  ]
+}`
+	m, err := ReadManifest(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Experiments[0]
+	if e.QueueWaitMS != 0.25 || e.Cached || e.StoreWaitMS != 0 {
+		t.Fatalf("v2 entry misparsed: %+v", e)
+	}
+	cur := NewManifest(Options{Seed: 7, Scale: 0.25}, nil)
+	cur.Experiments = append(cur.Experiments, ManifestEntry{ID: "F3", Digest: "abc", Cached: true, StoreWaitMS: 0.5})
 	if diffs := DiffDigests(m, cur); len(diffs) != 0 {
 		t.Fatalf("cross-schema diff not clean: %v", diffs)
 	}

@@ -1,0 +1,109 @@
+package experiment
+
+// Distributed sweep execution: a selection is deterministically
+// partitioned into n shards by canonical ID order, each shard runs
+// anywhere (another process, another machine, a CI matrix leg) and
+// writes an ordinary manifest, and MergeManifests recombines the shard
+// manifests into one manifest that is digest-identical to an unsharded
+// sweep of the same selection — wall times aside, which manifests
+// exclude from comparison by construction. Digests are pure functions
+// of (experiment, options), so where an experiment ran can never show
+// up in what it produced; the shard/merge protocol only has to
+// guarantee partition correctness (disjoint, exhaustive, deterministic)
+// and merge ordering (canonical), both pinned by tests.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Shard identifies one leg of an n-way sweep partition. Index is
+// 1-based: the legs of a 3-way split are 1/3, 2/3 and 3/3.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the -shard CLI syntax "i/n".
+func ParseShard(s string) (Shard, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Shard{}, fmt.Errorf("shard %q: want i/n, e.g. 2/4", s)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(s[:i]))
+	cnt, err2 := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("shard %q: want i/n, e.g. 2/4", s)
+	}
+	sh := Shard{Index: idx, Count: cnt}
+	return sh, sh.Validate()
+}
+
+// Validate checks 1 <= Index <= Count.
+func (sh Shard) Validate() error {
+	if sh.Count < 1 {
+		return fmt.Errorf("shard %s: count must be >= 1", sh)
+	}
+	if sh.Index < 1 || sh.Index > sh.Count {
+		return fmt.Errorf("shard %s: index out of range 1..%d", sh, sh.Count)
+	}
+	return nil
+}
+
+// String renders the canonical "i/n" form.
+func (sh Shard) String() string { return fmt.Sprintf("%d/%d", sh.Index, sh.Count) }
+
+// Partition returns this shard's slice of the selection: experiments
+// are dealt round-robin by position in canonical ID order (Select and
+// All already return canonical order), so every shard sees a spread of
+// families rather than one contiguous — and likely expensive — block.
+// The shards of a partition are disjoint, their union is exactly the
+// input, and the result preserves canonical order within the shard.
+func (sh Shard) Partition(exps []Experiment) []Experiment {
+	if sh.Count <= 1 {
+		return exps
+	}
+	var out []Experiment
+	for j := sh.Index - 1; j < len(exps); j += sh.Count {
+		out = append(out, exps[j])
+	}
+	return out
+}
+
+// MergeManifests recombines shard manifests into one. The inputs must
+// agree on options (digests are functions of them) and must not repeat
+// an experiment ID — overlap means the partition protocol was violated
+// and the merged manifest could silently prefer either copy. Entries
+// are reordered into canonical ID order, so merging the shards of any
+// partition of a selection yields a manifest digest-identical (and
+// entry-order-identical) to an unsharded sweep of that selection. The
+// output carries the current schema regardless of input schemas; all
+// per-entry fields (wall times, cached flags, artifacts, errors) are
+// preserved from the shard that ran the experiment.
+func MergeManifests(ms []*Manifest) (*Manifest, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("merge: no manifests")
+	}
+	merged := &Manifest{Schema: ManifestSchema, Options: ms[0].Options}
+	seen := make(map[string]bool)
+	for i, m := range ms {
+		if m.Options != merged.Options {
+			return nil, fmt.Errorf("merge: manifest %d options %+v differ from %+v — digests are not comparable",
+				i+1, m.Options, merged.Options)
+		}
+		for _, e := range m.Experiments {
+			key := strings.ToLower(e.ID)
+			if seen[key] {
+				return nil, fmt.Errorf("merge: experiment %s appears in more than one manifest", e.ID)
+			}
+			seen[key] = true
+			merged.Experiments = append(merged.Experiments, e)
+		}
+	}
+	sort.Slice(merged.Experiments, func(i, j int) bool {
+		return idLess(merged.Experiments[i].ID, merged.Experiments[j].ID)
+	})
+	return merged, nil
+}

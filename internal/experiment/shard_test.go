@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// shardRegistry builds a registry with a spread of families, numbers
+// and suffixes so canonical ordering and partitioning are exercised on
+// realistic ID shapes.
+func shardRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	gen := func(id string) func(Options) *FigureData {
+		return func(o Options) *FigureData {
+			f := New(id, "shard-"+id)
+			f.Scalars["seed"] = float64(o.SeedOrDefault())
+			f.Note("id %s", id)
+			return f
+		}
+	}
+	var ids []string
+	for _, fam := range []string{"F", "M", "A", "S", "X"} {
+		for n := 1; n <= 7; n++ {
+			ids = append(ids, fmt.Sprintf("%s%d", fam, n))
+		}
+	}
+	ids = append(ids, "F9a", "F9b")
+	for _, id := range ids {
+		if err := r.Register(Experiment{ID: id, Title: "shard-" + id, Family: "test",
+			Tags: []string{"test", strings.ToLower(id[:1])}, Gen: gen(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func idsOf(es []Experiment) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// TestShardPartitionProperty is the property test over arbitrary
+// Selection filters × shard counts: for every (selection, n), the n
+// shards are pairwise disjoint, preserve canonical order, and their
+// union is exactly the full selection.
+func TestShardPartitionProperty(t *testing.T) {
+	r := shardRegistry(t)
+	all := r.All()
+	rng := rand.New(rand.NewSource(42))
+
+	randomSelection := func() Selection {
+		var sel Selection
+		switch rng.Intn(4) {
+		case 0: // everything
+		case 1: // random ID subset
+			for _, e := range all {
+				if rng.Intn(3) == 0 {
+					sel.IDs = append(sel.IDs, e.ID)
+				}
+			}
+			if len(sel.IDs) == 0 {
+				sel.IDs = []string{all[rng.Intn(len(all))].ID}
+			}
+		case 2: // random tag
+			sel.Tags = []string{[]string{"f", "m", "a", "s", "x"}[rng.Intn(5)]}
+		case 3: // regex on family letter or number
+			sel.Regex = []string{"^F", "^M", "3$", "^S[12]$", "9"}[rng.Intn(5)]
+		}
+		return sel
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		sel, err := r.Select(randomSelection())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(9)
+		seen := make(map[string]int)
+		var union [][]string
+		for i := 1; i <= n; i++ {
+			sh := Shard{Index: i, Count: n}
+			if err := sh.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			part := sh.Partition(sel)
+			// Within-shard canonical order is preserved.
+			for j := 1; j < len(part); j++ {
+				if !idLess(part[j-1].ID, part[j].ID) {
+					t.Fatalf("shard %s out of canonical order: %v", sh, idsOf(part))
+				}
+			}
+			for _, e := range part {
+				seen[e.ID]++
+			}
+			union = append(union, idsOf(part))
+		}
+		// Disjoint and exhaustive: every selected experiment in exactly
+		// one shard, nothing extra.
+		if len(seen) != len(sel) {
+			t.Fatalf("trial %d: union covers %d of %d selected (shards %v)", trial, len(seen), len(sel), union)
+		}
+		for _, e := range sel {
+			if seen[e.ID] != 1 {
+				t.Fatalf("trial %d: %s appears in %d shards, want exactly 1", trial, e.ID, seen[e.ID])
+			}
+		}
+	}
+}
+
+// TestShardPartitionDeterministic pins that the partition depends only
+// on (selection, shard): re-partitioning yields identical shards.
+func TestShardPartitionDeterministic(t *testing.T) {
+	r := shardRegistry(t)
+	sel, _ := r.Select(Selection{})
+	for n := 1; n <= 5; n++ {
+		for i := 1; i <= n; i++ {
+			a := idsOf(Shard{Index: i, Count: n}.Partition(sel))
+			b := idsOf(Shard{Index: i, Count: n}.Partition(sel))
+			if strings.Join(a, ",") != strings.Join(b, ",") {
+				t.Fatalf("shard %d/%d not deterministic: %v vs %v", i, n, a, b)
+			}
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"1/1":   {1, 1},
+		"2/4":   {2, 4},
+		" 3/3 ": {3, 3},
+	}
+	for in, want := range good {
+		got, err := ParseShard(strings.TrimSpace(in))
+		if err != nil || got != want {
+			t.Fatalf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "1", "0/2", "3/2", "-1/2", "1/0", "a/b", "1/2/3"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Fatalf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestShardMergeMatchesUnsharded is the acceptance pin for the
+// distributed protocol: sweeping each shard separately and merging the
+// shard manifests yields a manifest digest-identical — and entry-order
+// identical — to one unsharded sweep of the same selection.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	r := shardRegistry(t)
+	sel, err := r.Select(Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 5, Scale: 1}
+	full := NewManifest(opts, Sweep(context.Background(), sel, SweepConfig{Options: opts, Parallel: 2}))
+
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		var shards []*Manifest
+		for i := 1; i <= n; i++ {
+			part := Shard{Index: i, Count: n}.Partition(sel)
+			shards = append(shards, NewManifest(opts, Sweep(context.Background(), part, SweepConfig{Options: opts})))
+		}
+		merged, err := MergeManifests(shards)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if diffs := DiffDigests(merged, full); len(diffs) != 0 {
+			t.Fatalf("n=%d: merged manifest diverges from unsharded: %v", n, diffs)
+		}
+		if len(merged.Experiments) != len(full.Experiments) {
+			t.Fatalf("n=%d: entry counts differ", n)
+		}
+		for j := range merged.Experiments {
+			if merged.Experiments[j].ID != full.Experiments[j].ID {
+				t.Fatalf("n=%d: merged entry order diverges at %d: %s vs %s",
+					n, j, merged.Experiments[j].ID, full.Experiments[j].ID)
+			}
+		}
+	}
+}
+
+func TestMergeManifestsRejectsOverlapAndOptionSkew(t *testing.T) {
+	opts := Options{Seed: 5, Scale: 1}
+	a := &Manifest{Schema: ManifestSchema, Options: opts,
+		Experiments: []ManifestEntry{{ID: "F3", Digest: "aa"}}}
+	dup := &Manifest{Schema: ManifestSchema, Options: opts,
+		Experiments: []ManifestEntry{{ID: "f3", Digest: "bb"}}}
+	if _, err := MergeManifests([]*Manifest{a, dup}); err == nil {
+		t.Fatal("duplicate ID across shards accepted")
+	}
+	skew := &Manifest{Schema: ManifestSchema, Options: Options{Seed: 6, Scale: 1},
+		Experiments: []ManifestEntry{{ID: "F4", Digest: "cc"}}}
+	if _, err := MergeManifests([]*Manifest{a, skew}); err == nil {
+		t.Fatal("option skew across shards accepted")
+	}
+	if _, err := MergeManifests(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"athena/internal/obs"
 	"athena/internal/runner"
+	"athena/internal/store"
 )
 
 // SweepConfig tunes a Sweep.
@@ -19,6 +20,20 @@ type SweepConfig struct {
 	Parallel int
 	// OutDir, when set, saves each figure's CSV artifacts there.
 	OutDir string
+	// Cache, when set, is the persistent second cache tier: before an
+	// experiment's generator runs, the store is consulted under
+	// CacheKey(CacheNamespace, exp, Options); a validated hit skips the
+	// generator entirely (the result carries Cached=true), and a miss
+	// stores the fresh result after generation. Store lookups are
+	// digest-validated, so a corrupt or stale entry degrades to a
+	// recompute, never a wrong figure; store write failures are
+	// likewise silent — the cache is strictly best-effort.
+	Cache *store.Store
+	// CacheNamespace partitions Cache keys, conventionally by code
+	// revision (cmd/athena-bench derives it from build VCS info): the
+	// stored digest proves integrity, not that the current code would
+	// reproduce the entry, so sweeps on changed code must miss.
+	CacheNamespace string
 	// OnResult, when set, is called once per executed experiment in
 	// input order, as each ordered prefix completes — the streaming
 	// hook CLIs print from. It must not be called concurrently and is
@@ -44,6 +59,13 @@ type RunResult struct {
 	// Parallel bound before its generator started (also excluded from
 	// the digest).
 	QueueWait time.Duration
+	// StoreWait is the time spent consulting (and validating) the
+	// persistent store, hit or miss; zero when no Cache is configured.
+	StoreWait time.Duration
+	// Cached marks results recalled from the persistent store instead
+	// of regenerated; Wall is then ~zero and Figure is the decoded,
+	// digest-revalidated stored figure.
+	Cached bool
 	// Artifacts lists the files saved under SweepConfig.OutDir.
 	Artifacts []string
 	// Err is a save error, or the context error when Skipped.
@@ -100,16 +122,33 @@ func Sweep(ctx context.Context, exps []Experiment, cfg SweepConfig) []RunResult 
 			return
 		}
 		r.QueueWait = time.Since(submitAt)
-		span := tracer.Begin("exp:"+exps[i].ID, 0)
-		t0 := time.Now()
-		fig := exps[i].Gen(cfg.Options)
-		r.Figure = fig
-		r.Rendered = fig.String()
-		r.Digest = Digest(r.Rendered)
-		r.Wall = time.Since(t0)
-		span.End()
+		var cacheKey string
+		if cfg.Cache != nil {
+			cacheKey = CacheKey(cfg.CacheNamespace, exps[i], cfg.Options)
+			t0 := time.Now()
+			fig, rendered, digest, hit := loadCached(cfg.Cache, cacheKey, exps[i], cfg.Options)
+			r.StoreWait = time.Since(t0)
+			if hit {
+				r.Figure, r.Rendered, r.Digest, r.Cached = fig, rendered, digest, true
+			}
+		}
+		if !r.Cached {
+			span := tracer.Begin("exp:"+exps[i].ID, 0)
+			t0 := time.Now()
+			fig := exps[i].Gen(cfg.Options)
+			r.Figure = fig
+			r.Rendered = fig.String()
+			r.Digest = Digest(r.Rendered)
+			r.Wall = time.Since(t0)
+			span.End()
+			if cfg.Cache != nil {
+				// Best-effort: a full disk or unencodable figure costs
+				// persistence, never the sweep.
+				_ = saveCached(cfg.Cache, cacheKey, exps[i], cfg.Options, fig, r.Digest)
+			}
+		}
 		if cfg.OutDir != "" {
-			r.Artifacts, r.Err = fig.Save(cfg.OutDir)
+			r.Artifacts, r.Err = r.Figure.Save(cfg.OutDir)
 		}
 		results[i] = r
 		finish(i)

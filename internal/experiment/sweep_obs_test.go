@@ -119,7 +119,7 @@ func TestSweepRecordsQueueWait(t *testing.T) {
 			t.Fatalf("entry %d queue_wait_ms negative: %v", i, e.QueueWaitMS)
 		}
 	}
-	if m.Schema != 2 {
-		t.Fatalf("manifest schema = %d, want 2", m.Schema)
+	if m.Schema != ManifestSchema {
+		t.Fatalf("manifest schema = %d, want %d", m.Schema, ManifestSchema)
 	}
 }

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeEntry drives the envelope reader with arbitrary bytes: it
+// must never panic, and whenever it does accept an input, the accepted
+// (key, payload) must re-encode to a checksum-valid entry — i.e. only
+// genuine entries pass validation.
+func FuzzDecodeEntry(f *testing.F) {
+	valid := encodeEntry("exp/v1|id=f3|seed=1", []byte("rendered figure\n"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])             // truncated mid-payload
+	f.Add(valid[:10])                       // truncated mid-header
+	f.Add([]byte{})                         // empty file
+	f.Add([]byte("athena-store 1\n"))       // header only
+	f.Add([]byte("athena-store 2\nkey 0 ")) // future version
+	f.Add(encodeEntry("", nil))             // degenerate but valid
+	f.Add(encodeEntry("key\nwith\nnewline", []byte{0, 255}))
+	bitflipped := bytes.Clone(valid)
+	bitflipped[len(bitflipped)-3] ^= 0x10
+	f.Add(bitflipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, payload, err := decodeEntryStrict(data)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must be exactly what encodeEntry produces for
+		// that key/payload — anything else means validation has a hole.
+		if !bytes.Equal(encodeEntry(key, payload), data) {
+			t.Fatalf("decodeEntry accepted non-canonical input for key %q", key)
+		}
+	})
+}
+
+// FuzzGetCorruptFile writes arbitrary bytes where an entry should live
+// and asserts Get degrades to a miss (never a wrong payload, never a
+// panic) — the end-to-end version of FuzzDecodeEntry.
+func FuzzGetCorruptFile(f *testing.F) {
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Add(encodeEntry("the-key", []byte("true payload")))
+	f.Add(encodeEntry("other-key", []byte("stolen payload")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open(t.TempDir(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := s.path("the-key")
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payload, ok := s.Get("the-key")
+		if !ok {
+			return // degraded to a miss: correct for anything invalid
+		}
+		// A hit is only legitimate if the file was a genuine entry for
+		// exactly this key.
+		if !bytes.Equal(data, encodeEntry("the-key", payload)) {
+			t.Fatalf("Get returned %q from a file that is not a valid entry for the key", payload)
+		}
+	})
+}
