@@ -11,8 +11,9 @@
 //     telemetry, ICMP probing, and the Athena correlator's cross-layer
 //     report.
 //   - Figure, mitigation, ablation and study drivers (Fig3 … Fig10,
-//     M1 … M4, A1 … A4, S1 … S4): regenerate every evaluation artifact in
-//     the paper — plus the §5 agenda — returning plot-ready series.
+//     M1 … M4, A1 … A4, S1 … S4, S8 … S9): regenerate every evaluation
+//     artifact in the paper — plus the §5 agenda — returning plot-ready
+//     series.
 //   - The building blocks themselves live under internal/ and are
 //     exercised through this facade.
 package athena
@@ -112,3 +113,22 @@ func DefaultUE() UESpec { return scenario.DefaultUE() }
 // RunTopology executes a multi-UE topology and correlates each UE's
 // traces. Topology runs are not memoized; every call simulates.
 func RunTopology(top Topology) *TopologyResult { return scenario.RunTopology(top) }
+
+// WorkloadKind names the application family a UE runs (UESpec.Workload).
+// The zero value keeps the historical VCA endpoint.
+type WorkloadKind = scenario.WorkloadKind
+
+// Application families a UE can run in a Topology.
+const (
+	WorkloadVCA          = scenario.WorkloadVCA
+	WorkloadCloudGaming  = scenario.WorkloadCloudGaming
+	WorkloadBulkTransfer = scenario.WorkloadBulkTransfer
+	WorkloadAudioOnly    = scenario.WorkloadAudioOnly
+)
+
+// WorkloadScore is a UE's app-level QoE summary (UEResult.Score): a
+// family tag plus named scalars.
+type WorkloadScore = scenario.WorkloadScore
+
+// WorkloadKinds lists every application family in canonical order.
+func WorkloadKinds() []WorkloadKind { return scenario.WorkloadKinds() }

@@ -177,6 +177,7 @@ func main() {
 	cells := flag.Int("cells", 0, "multi-cell scale mode: number of cells (bypasses the experiment sweep)")
 	ues := flag.Int("ues", 0, "multi-cell scale mode: number of UEs, spread round-robin over -cells")
 	handovers := flag.Int("handovers", 1, "scale mode: UEs given one scripted mid-run handover")
+	workloadMix := flag.Bool("workload-mix", false, "scale mode: round-robin the workload families (vca, cloud-gaming, bulk-transfer, audio-only) over the UEs and verify per-family digests")
 	scaleOut := flag.String("scale-out", "", "scale mode: write the serial-vs-sharded scale report JSON here")
 	prof := profiling.AddFlags(flag.CommandLine)
 	obsFlags := obs.AddCLIFlags(flag.CommandLine)
@@ -211,6 +212,7 @@ func main() {
 			UEs:       *ues,
 			Cells:     *cells,
 			Handovers: *handovers,
+			Mix:       *workloadMix,
 			Seed:      *seed,
 			Scale:     *scale,
 			Out:       *scaleOut,

@@ -21,7 +21,8 @@ import (
 type scaleParams struct {
 	UEs       int
 	Cells     int
-	Handovers int // UEs given one scripted mid-run handover
+	Handovers int  // UEs given one scripted mid-run handover
+	Mix       bool // round-robin the workload families over the UEs
 	Seed      int64
 	Scale     float64 // duration multiplier over the 10 s base
 	Out       string  // JSON report path ("" skips the write)
@@ -55,6 +56,12 @@ type scaleReport struct {
 	Shards      int     `json:"shards"`
 	Digest      string  `json:"digest"`
 
+	// FamilyDigests maps each workload family present in the cell to
+	// its family digest, identical between the serial and sharded runs
+	// (only populated with -workload-mix; VCA-only runs have a single
+	// implicit family already covered by Digest).
+	FamilyDigests map[string]string `json:"family_digests,omitempty"`
+
 	Serial  scaleModeReport `json:"serial"`
 	Sharded scaleModeReport `json:"sharded"`
 	Speedup float64         `json:"speedup"`
@@ -82,6 +89,9 @@ func scaleTopology(p scaleParams, dur time.Duration) scenario.Topology {
 		}
 		top.UEs[i].Handovers = []scenario.Handover{{At: dur / 2, ToCell: partner}}
 	}
+	if p.Mix {
+		top.MixWorkloads()
+	}
 	return top
 }
 
@@ -96,10 +106,14 @@ func runScale(p scaleParams) error {
 		p.Cells = 4
 	}
 	dur := time.Duration(float64(10*time.Second) * p.Scale)
-	fmt.Printf("scale mode: %d UEs / %d cells, %v simulated, seed %d, %d handover UEs\n",
-		p.UEs, p.Cells, dur, p.Seed, p.Handovers)
+	mix := "vca-only"
+	if p.Mix {
+		mix = "mixed workloads"
+	}
+	fmt.Printf("scale mode: %d UEs / %d cells (%s), %v simulated, seed %d, %d handover UEs\n",
+		p.UEs, p.Cells, mix, dur, p.Seed, p.Handovers)
 
-	run := func(serial bool) (string, int, scaleModeReport) {
+	run := func(serial bool) (string, map[scenario.WorkloadKind]string, int, scaleModeReport) {
 		top := scaleTopology(p, dur)
 		top.Serial = serial
 		start := time.Now()
@@ -109,16 +123,39 @@ func runScale(p scaleParams) error {
 			WallSec:     wall.Seconds(),
 			UESecPerSec: float64(p.UEs) * dur.Seconds() / wall.Seconds(),
 		}
-		return tr.Digest(), len(tr.Shards), m
+		var fams map[scenario.WorkloadKind]string
+		if p.Mix {
+			fams = tr.FamilyDigests()
+		}
+		return tr.Digest(), fams, len(tr.Shards), m
 	}
 
-	serialDigest, shards, serial := run(true)
+	serialDigest, serialFams, shards, serial := run(true)
 	fmt.Printf("  serial:  %7.2fs wall  %8.1f UE-sec/s\n", serial.WallSec, serial.UESecPerSec)
-	shardedDigest, _, sharded := run(false)
+	shardedDigest, shardedFams, _, sharded := run(false)
 	fmt.Printf("  sharded: %7.2fs wall  %8.1f UE-sec/s  (%d shards, GOMAXPROCS=%d)\n",
 		sharded.WallSec, sharded.UESecPerSec, shards, runtime.GOMAXPROCS(0))
 	if serialDigest != shardedDigest {
 		return fmt.Errorf("digest mismatch: serial %s != sharded %s", serialDigest, shardedDigest)
+	}
+	famDigests := map[string]string{}
+	if p.Mix {
+		// The topology digest already covers every UE; the per-family
+		// check localizes a divergence to the workload family that
+		// caused it, and proves each family's result set is complete
+		// in both modes.
+		for _, kind := range scenario.WorkloadKinds() {
+			sd, ok := serialFams[kind]
+			pd, pok := shardedFams[kind]
+			if !ok || !pok {
+				return fmt.Errorf("family %s missing (serial present=%t, sharded present=%t)", kind, ok, pok)
+			}
+			if sd != pd {
+				return fmt.Errorf("family %s digest mismatch: serial %s != sharded %s", kind, sd, pd)
+			}
+			famDigests[string(kind)] = sd
+			fmt.Printf("  family %-13s digest %s\n", kind, sd[:16])
+		}
 	}
 	speedup := sharded.UESecPerSec / serial.UESecPerSec
 	fmt.Printf("  digests match (%s), speedup %.2fx\n", serialDigest[:16], speedup)
@@ -137,6 +174,9 @@ func runScale(p scaleParams) error {
 		Sharded:        sharded,
 		Speedup:        speedup,
 		BarrierWaitAll: obs.NewHistogram("sim.barrier_wait_ns").Snapshot(),
+	}
+	if p.Mix {
+		rep.FamilyDigests = famDigests
 	}
 	for i := 0; i < shards; i++ {
 		h := obs.NewHistogram(fmt.Sprintf("sim.shard%d.barrier_wait_ns", i))

@@ -20,15 +20,16 @@ import (
 
 // loadgenParams configures one load-generation run.
 type loadgenParams struct {
-	Target   string // server URL; empty starts an in-process server
-	Sessions int
-	UEs      int
-	Cells    int
-	Duration time.Duration
-	Tick     time.Duration
-	Seed     int64
-	Workers  int
-	Out      string // report path; empty skips the write
+	Target    string // server URL; empty starts an in-process server
+	Sessions  int
+	UEs       int
+	Cells     int
+	Workloads string // "vca" (default) or "mixed": source-topology app families
+	Duration  time.Duration
+	Tick      time.Duration
+	Seed      int64
+	Workers   int
+	Out       string // report path; empty skips the write
 }
 
 // serveReport is the BENCH_serve.json schema.
@@ -40,6 +41,7 @@ type serveReport struct {
 	Streams     int     `json:"streams"`
 	UEs         int     `json:"ues"`
 	Cells       int     `json:"cells"`
+	Workloads   string  `json:"workloads"`
 	DurationSec float64 `json:"duration_sec"`
 	TickMS      float64 `json:"tick_ms"`
 	Seed        int64   `json:"seed"`
@@ -95,6 +97,14 @@ func buildWork(p loadgenParams) ([]streamWork, error) {
 	}
 	top.Seed = p.Seed
 	top.Duration = p.Duration
+	switch p.Workloads {
+	case "", "vca":
+		// Historical default: every UE runs the VCA endpoint.
+	case "mixed":
+		top.MixWorkloads()
+	default:
+		return nil, fmt.Errorf("unknown -workloads %q (want vca or mixed)", p.Workloads)
+	}
 	tr := scenario.RunTopology(top)
 
 	streams := tr.SessionStreams()
@@ -207,6 +217,7 @@ func runLoadgen(p loadgenParams) (*serveReport, error) {
 		Streams:            len(work),
 		UEs:                p.UEs,
 		Cells:              p.Cells,
+		Workloads:          workloadsLabel(p.Workloads),
 		DurationSec:        p.Duration.Seconds(),
 		TickMS:             float64(p.Tick) / float64(time.Millisecond),
 		Seed:               p.Seed,
@@ -310,6 +321,14 @@ func fetchMetrics(c *http.Client, target string) (*obs.Snapshot, error) {
 		return nil, err
 	}
 	return &snap, nil
+}
+
+// workloadsLabel canonicalizes the empty default for the report.
+func workloadsLabel(w string) string {
+	if w == "" {
+		return "vca"
+	}
+	return w
 }
 
 func mustEncode(v any) []byte {

@@ -54,6 +54,7 @@ func main() {
 	sessions := flag.Int("sessions", 120, "loadgen: concurrent session count")
 	ues := flag.Int("ues", 2, "loadgen: UEs in the source topology")
 	cells := flag.Int("cells", 1, "loadgen: cells in the source topology (>1 shards the simulation)")
+	workloads := flag.String("workloads", "vca", "loadgen: source-topology app families, vca or mixed (round-robins vca, cloud-gaming, bulk-transfer, audio-only over the UEs)")
 	duration := flag.Duration("duration", 2*time.Second, "loadgen: simulated call duration per session")
 	tick := flag.Duration("tick", 100*time.Millisecond, "loadgen: feed batching interval")
 	seed := flag.Int64("seed", 1, "loadgen: simulation seed")
@@ -63,15 +64,16 @@ func main() {
 
 	if *loadgen {
 		p := loadgenParams{
-			Target:   *target,
-			Sessions: *sessions,
-			UEs:      *ues,
-			Cells:    *cells,
-			Duration: *duration,
-			Tick:     *tick,
-			Seed:     *seed,
-			Workers:  *workers,
-			Out:      *out,
+			Target:    *target,
+			Sessions:  *sessions,
+			UEs:       *ues,
+			Cells:     *cells,
+			Workloads: *workloads,
+			Duration:  *duration,
+			Tick:      *tick,
+			Seed:      *seed,
+			Workers:   *workers,
+			Out:       *out,
 		}
 		rep, err := runLoadgen(p)
 		if err != nil {

@@ -62,6 +62,39 @@ func TestLoadgenEndToEndSharded(t *testing.T) {
 	}
 }
 
+// TestLoadgenMixedWorkloads replays a mixed-workload source topology —
+// one UE per app family — through the service: SessionStreams and the
+// streamed-vs-offline digest check are workload-agnostic, so every
+// family's session must verify over real HTTP exactly like VCA.
+func TestLoadgenMixedWorkloads(t *testing.T) {
+	p := loadgenParams{
+		Sessions:  4,
+		UEs:       4,
+		Workloads: "mixed",
+		Duration:  2 * time.Second,
+		Tick:      100 * time.Millisecond,
+		Seed:      1,
+		Workers:   2,
+	}
+	rep, err := runLoadgen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams != 4 {
+		t.Fatalf("tapped %d streams, want 4", rep.Streams)
+	}
+	if rep.Workloads != "mixed" {
+		t.Fatalf("report workloads %q, want mixed", rep.Workloads)
+	}
+	if rep.DigestMatches != p.Sessions {
+		t.Fatalf("digest matches %d, want %d", rep.DigestMatches, p.Sessions)
+	}
+
+	if _, err := buildWork(loadgenParams{UEs: 1, Workloads: "bogus", Duration: time.Second, Tick: time.Second}); err == nil {
+		t.Fatal("unknown -workloads value must be rejected")
+	}
+}
+
 // TestLoadgenDetectsCorruption pins the nonzero-exit contract: a feed
 // that violates the session's stream order must fail the run, not pass
 // silently.

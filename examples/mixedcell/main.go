@@ -1,0 +1,80 @@
+// Mixedcell: four different applications — a video call, a cloud-gaming
+// session, a bulk upload, and an audio-only call — share one private 5G
+// cell. Each UE picks its family with UESpec.Workload; the endpoints,
+// traffic patterns and QoE scores differ per app, but every packet
+// crosses the same slot-accurate RAN and the same Athena correlator
+// attributes its delay. The example prints each participant's app score
+// next to its wireless attribution, then verifies that the mixed cell is
+// deterministic: a second run must be byte-identical, overall and per
+// workload family.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"athena"
+	"athena/internal/core"
+)
+
+func buildTopology() athena.Topology {
+	top := athena.NewTopology(4)
+	top.Duration = 6 * time.Second
+	top.MixWorkloads() // round-robin: vca, cloud-gaming, bulk-transfer, audio-only
+	return top
+}
+
+func main() {
+	tr := athena.RunTopology(buildTopology())
+
+	fmt.Printf("mixed cell: %d apps on one 5G cell, %v simulated\n\n",
+		len(tr.UEs), tr.Top.Duration)
+
+	ok := true
+	for _, u := range tr.UEs {
+		fmt.Printf("ue%d %-13s %s\n", u.ID, u.Workload, u.Score)
+		att := u.Report.Attribute()
+		if att.Packets == 0 {
+			fmt.Printf("  NO ATTRIBUTED PACKETS\n")
+			ok = false
+			continue
+		}
+		fmt.Printf("  wireless attribution over %d packets: ", att.Packets)
+		for _, c := range []core.Cause{core.CauseQueueSlot, core.CauseBSR, core.CauseHARQ, core.CauseWAN} {
+			fmt.Printf("%s=%.2fms ", c, att.MeanMS(c))
+		}
+		fmt.Println()
+	}
+
+	// Determinism: the whole mixed cell re-runs byte-identically, and
+	// each family's slice of the output hashes to the same digest.
+	tr2 := athena.RunTopology(buildTopology())
+	fmt.Print("\ndeterminism: ")
+	if tr.Digest() != tr2.Digest() {
+		fmt.Println("FAILED — second run diverged")
+		ok = false
+	} else {
+		fmt.Println("second run byte-identical")
+	}
+	fams, fams2 := tr.FamilyDigests(), tr2.FamilyDigests()
+	for _, kind := range athena.WorkloadKinds() {
+		d, found := fams[kind]
+		if !found {
+			fmt.Printf("  family %-13s MISSING\n", kind)
+			ok = false
+			continue
+		}
+		if fams2[kind] != d {
+			fmt.Printf("  family %-13s DIVERGED between runs\n", kind)
+			ok = false
+			continue
+		}
+		fmt.Printf("  family %-13s digest %s\n", kind, d[:16])
+	}
+
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("all four app families correlated and deterministic on one shared cell")
+}

@@ -74,9 +74,17 @@ type burstState struct {
 
 // New creates a generator of the given class feeding out. Call Start to
 // begin and route the far end's deliveries to OnArrival.
-func New(s *sim.Simulator, alloc *packet.Alloc, class Class, flow uint32, out packet.Handler) *Generator {
+//
+// rng must be an explicitly seeded source (typically sim.NewStream());
+// requiring it keeps every generator's randomness attributable to the
+// caller's seed — no math/rand global state — so sweeps stay
+// deterministic under test -parallel and the runner pool.
+func New(s *sim.Simulator, alloc *packet.Alloc, class Class, flow uint32, rng *rand.Rand, out packet.Handler) *Generator {
 	if out == nil {
 		out = packet.Discard
+	}
+	if rng == nil {
+		panic("apps: New requires an explicitly seeded *rand.Rand")
 	}
 	return &Generator{
 		Class:   class,
@@ -84,7 +92,7 @@ func New(s *sim.Simulator, alloc *packet.Alloc, class Class, flow uint32, out pa
 		sim:     s,
 		alloc:   alloc,
 		out:     out,
-		rng:     s.NewStream(),
+		rng:     rng,
 		sentAt:  make(map[uint64]time.Duration),
 		burstOf: make(map[uint64]int),
 		bursts:  make(map[int]*burstState),

@@ -20,7 +20,7 @@ func runOver(t *testing.T, class Class, sched ran.SchedulerKind, dur time.Durati
 	tap := packet.HandlerFunc(func(p *packet.Packet) { g.OnArrival(p, s.Now()) })
 	r := ran.New(s, ran.Defaults(), tap)
 	ue := r.AttachUE(1, sched)
-	g = New(s, &alloc, class, 1, ue)
+	g = New(s, &alloc, class, 1, s.NewStream(), ue)
 	g.Start(dur)
 	s.RunUntil(dur + 2*time.Second)
 	return g.Metrics(dur)
@@ -85,7 +85,7 @@ func TestGeneratorStopsAtDeadline(t *testing.T) {
 	s := sim.New(1)
 	var alloc packet.Alloc
 	n := 0
-	g := New(s, &alloc, ClassGaming, 1, packet.HandlerFunc(func(*packet.Packet) { n++ }))
+	g := New(s, &alloc, ClassGaming, 1, s.NewStream(), packet.HandlerFunc(func(*packet.Packet) { n++ }))
 	g.Start(time.Second)
 	s.RunUntil(5 * time.Second)
 	// 125 Hz for 1 s ≈ 126 packets; nothing after the deadline.
@@ -97,7 +97,7 @@ func TestGeneratorStopsAtDeadline(t *testing.T) {
 func TestOnArrivalIgnoresStrangers(t *testing.T) {
 	s := sim.New(1)
 	var alloc packet.Alloc
-	g := New(s, &alloc, ClassWeb, 1, nil)
+	g := New(s, &alloc, ClassWeb, 1, s.NewStream(), nil)
 	stray := alloc.New(packet.KindCross, 9, 100, 0)
 	g.OnArrival(stray, time.Second) // must not panic or score
 	if len(g.DelaysMS) != 0 {

@@ -1,0 +1,196 @@
+// Bulk transfer as a full bidirectional endpoint: a QUIC-like saturating
+// upload with a windowed AIMD sender on the UE and a cumulative-ack
+// receiver on the wired side. Unlike ClassUpload's open-loop generator,
+// BulkSender is closed-loop — it backs off under RAN drops and ramps
+// into spare capacity — so it interacts with the scheduler the way a
+// real background upload does.
+package apps
+
+import (
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+	"athena/internal/units"
+)
+
+// BulkAck is the receiver's cumulative acknowledgment payload, emitted
+// every ackInterval on the (reliable) downlink: how many data packets
+// have arrived in total, and the highest sequence seen. The sender
+// infers loss from the gap — received + inferred-lost vs. next-to-send
+// bounds the in-flight window without per-packet acks.
+type BulkAck struct {
+	Received uint64 // total data packets delivered
+	MaxSeq   uint32 // highest sequence number seen
+}
+
+// bulk transfer constants: QUIC-like 1200 B datagrams, 25 ms ack clock.
+const (
+	bulkPacketSize = units.ByteCount(1200)
+	bulkAckEvery   = 25 * time.Millisecond
+	bulkMinWindow  = 4
+	bulkInitWindow = 8
+	bulkMaxWindow  = 512
+)
+
+// BulkSender is the UE side of a saturating upload: it keeps cwnd
+// packets in flight, growing additively on clean acks and halving when
+// an ack reveals new loss (HARQ-exhausted drops on the uplink).
+type BulkSender struct {
+	sim   *sim.Simulator
+	alloc *packet.Alloc
+	out   packet.Handler // uplink path (capture point ①)
+	flow  uint32
+
+	cwnd     float64
+	nextSeq  uint32
+	acked    uint64 // received per the latest ack
+	lostEst  uint64 // cumulative loss estimate per the latest ack
+	slowStrt bool
+
+	// Sent counts data packets emitted; Halvings counts multiplicative
+	// decreases (the congestion-response signal tests assert on).
+	Sent     int
+	Halvings int
+
+	until   time.Duration
+	stopped bool
+}
+
+// NewBulkSender creates the UE endpoint emitting data packets into out
+// on the given flow.
+func NewBulkSender(s *sim.Simulator, alloc *packet.Alloc, flow uint32, out packet.Handler) *BulkSender {
+	if out == nil {
+		out = packet.Discard
+	}
+	return &BulkSender{
+		sim:      s,
+		alloc:    alloc,
+		out:      out,
+		flow:     flow,
+		cwnd:     bulkInitWindow,
+		slowStrt: true,
+	}
+}
+
+// Start opens the transfer: fill the initial window; acks clock the rest.
+func (bs *BulkSender) Start(until time.Duration) {
+	bs.until = until
+	bs.pump()
+}
+
+// Stop halts transmission.
+func (bs *BulkSender) Stop() { bs.stopped = true }
+
+// Window reports the current congestion window in packets.
+func (bs *BulkSender) Window() float64 { return bs.cwnd }
+
+// pump emits packets until the window is full.
+func (bs *BulkSender) pump() {
+	if bs.stopped || bs.sim.Now() > bs.until {
+		return
+	}
+	inflight := uint64(bs.nextSeq) - (bs.acked + bs.lostEst)
+	for inflight < uint64(bs.cwnd) {
+		bs.nextSeq++
+		p := bs.alloc.New(packet.KindData, bs.flow, bulkPacketSize, bs.sim.Now())
+		p.Seq = bs.nextSeq
+		bs.out.Handle(p)
+		bs.Sent++
+		inflight++
+	}
+}
+
+// OnAck ingests a cumulative ack (wire it to the UE's downlink demux).
+// Loss is re-inferred from scratch each ack — maxSeq+1-received — so
+// reorder-induced transients self-correct on the next ack.
+func (bs *BulkSender) OnAck(a *BulkAck) {
+	if bs.stopped {
+		return
+	}
+	newlyAcked := a.Received - bs.acked
+	lost := uint64(0)
+	if uint64(a.MaxSeq) > a.Received {
+		lost = uint64(a.MaxSeq) - a.Received
+	}
+	if lost > bs.lostEst {
+		// New loss since the last ack: multiplicative decrease.
+		bs.cwnd /= 2
+		if bs.cwnd < bulkMinWindow {
+			bs.cwnd = bulkMinWindow
+		}
+		bs.slowStrt = false
+		bs.Halvings++
+	} else if newlyAcked > 0 {
+		if bs.slowStrt {
+			bs.cwnd += float64(newlyAcked)
+		} else {
+			bs.cwnd += float64(newlyAcked) / bs.cwnd
+		}
+		if bs.cwnd > bulkMaxWindow {
+			bs.cwnd = bulkMaxWindow
+		}
+	}
+	bs.acked = a.Received
+	bs.lostEst = lost
+	bs.pump()
+}
+
+// BulkReceiver is the wired side: it counts deliveries and emits a
+// cumulative ack every 25 ms onto the return path.
+type BulkReceiver struct {
+	sim   *sim.Simulator
+	alloc *packet.Alloc
+	back  packet.Handler // return path toward the UE
+	flow  uint32
+
+	received  uint64
+	maxSeq    uint32
+	Delivered units.ByteCount
+
+	stopped bool
+}
+
+// NewBulkReceiver creates the far endpoint; acks flow into back on the
+// given (feedback) flow as KindRTCP so they bypass media demuxes.
+func NewBulkReceiver(s *sim.Simulator, alloc *packet.Alloc, flow uint32, back packet.Handler) *BulkReceiver {
+	if back == nil {
+		back = packet.Discard
+	}
+	return &BulkReceiver{sim: s, alloc: alloc, back: back, flow: flow}
+}
+
+// Start begins the 25 ms ack clock until `until`.
+func (br *BulkReceiver) Start(until time.Duration) {
+	br.sim.Every(bulkAckEvery, bulkAckEvery, func() {
+		if br.stopped || br.sim.Now() > until {
+			return
+		}
+		if br.received == 0 {
+			return
+		}
+		p := br.alloc.New(packet.KindRTCP, br.flow, 60, br.sim.Now())
+		p.Payload = &BulkAck{Received: br.received, MaxSeq: br.maxSeq}
+		br.back.Handle(p)
+	})
+}
+
+// Stop halts ack emission.
+func (br *BulkReceiver) Stop() { br.stopped = true }
+
+// OnData ingests one delivered data packet (wire it to the far-end tap).
+func (br *BulkReceiver) OnData(p *packet.Packet) {
+	br.received++
+	if p.Seq > br.maxSeq {
+		br.maxSeq = p.Seq
+	}
+	br.Delivered += p.Size
+}
+
+// GoodputMbps reports delivered application throughput over duration d.
+func (br *BulkReceiver) GoodputMbps(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(br.Delivered.Bits()) / d.Seconds() / 1e6
+}

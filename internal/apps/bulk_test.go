@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/packet"
+	"athena/internal/sim"
+)
+
+// bulkPipe wires a sender and receiver back to back: data packets reach
+// the receiver after a fixed delay, acks return instantly, and an
+// optional drop predicate models HARQ-exhausted uplink loss.
+func bulkPipe(s *sim.Simulator, delay time.Duration, drop func(seq uint32) bool) (*BulkSender, *BulkReceiver) {
+	var alloc packet.Alloc
+	var bs *BulkSender
+	br := NewBulkReceiver(s, &alloc, 2, packet.HandlerFunc(func(p *packet.Packet) {
+		bs.OnAck(p.Payload.(*BulkAck))
+	}))
+	bs = NewBulkSender(s, &alloc, 1, packet.HandlerFunc(func(p *packet.Packet) {
+		if drop != nil && drop(p.Seq) {
+			return
+		}
+		s.After(delay, func() { br.OnData(p) })
+	}))
+	return bs, br
+}
+
+func TestBulkSlowStartSaturates(t *testing.T) {
+	s := sim.New(1)
+	bs, br := bulkPipe(s, 5*time.Millisecond, nil)
+	br.Start(2 * time.Second)
+	bs.Start(2 * time.Second)
+	s.RunUntil(2 * time.Second)
+	if bs.Halvings != 0 {
+		t.Fatalf("%d halvings on a lossless pipe", bs.Halvings)
+	}
+	if bs.Window() != bulkMaxWindow {
+		t.Fatalf("cwnd = %v, lossless slow start should hit the %d cap", bs.Window(), bulkMaxWindow)
+	}
+	if mbps := br.GoodputMbps(2 * time.Second); mbps < 10 {
+		t.Fatalf("goodput %v Mbps, a saturated 5 ms pipe should carry far more", mbps)
+	}
+}
+
+func TestBulkHalvesOnLoss(t *testing.T) {
+	s := sim.New(2)
+	bs, br := bulkPipe(s, 5*time.Millisecond, func(seq uint32) bool {
+		return seq%50 == 0 // periodic uplink drops
+	})
+	br.Start(2 * time.Second)
+	bs.Start(2 * time.Second)
+	s.RunUntil(2 * time.Second)
+	if bs.Halvings == 0 {
+		t.Fatal("no multiplicative decrease under periodic loss")
+	}
+	if bs.Window() >= bulkMaxWindow {
+		t.Fatalf("cwnd = %v at the cap despite loss", bs.Window())
+	}
+	if bs.Window() < bulkMinWindow {
+		t.Fatalf("cwnd = %v under the %d floor", bs.Window(), bulkMinWindow)
+	}
+	// The transfer keeps making progress between backoffs.
+	if br.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// Loss is re-inferred from scratch on every ack, so a one-off gap halves
+// the window exactly once rather than on every subsequent ack.
+func TestBulkSingleLossSingleHalving(t *testing.T) {
+	s := sim.New(3)
+	bs, br := bulkPipe(s, time.Millisecond, func(seq uint32) bool {
+		return seq == 20
+	})
+	br.Start(time.Second)
+	bs.Start(time.Second)
+	s.RunUntil(time.Second)
+	if bs.Halvings != 1 {
+		t.Fatalf("%d halvings for a single lost packet, want exactly 1", bs.Halvings)
+	}
+}
+
+func TestBulkWindowBoundsInflight(t *testing.T) {
+	s := sim.New(4)
+	var alloc packet.Alloc
+	inflight, peak := 0, 0
+	var bs *BulkSender
+	bs = NewBulkSender(s, &alloc, 1, packet.HandlerFunc(func(p *packet.Packet) {
+		inflight++
+		if inflight > peak {
+			peak = inflight
+		}
+	}))
+	bs.Start(time.Second)
+	s.RunUntil(time.Second)
+	// No acks ever arrive: the sender must stall at the initial window.
+	if bs.Sent != bulkInitWindow {
+		t.Fatalf("sent %d packets with no acks, want the initial window of %d", bs.Sent, bulkInitWindow)
+	}
+	if peak != bulkInitWindow {
+		t.Fatalf("peak inflight %d, want %d", peak, bulkInitWindow)
+	}
+}
+
+func TestBulkReceiverAckClock(t *testing.T) {
+	s := sim.New(5)
+	var alloc packet.Alloc
+	var acks []*BulkAck
+	br := NewBulkReceiver(s, &alloc, 2, packet.HandlerFunc(func(p *packet.Packet) {
+		if p.Kind != packet.KindRTCP {
+			t.Fatalf("ack kind = %v, want RTCP so media demuxes skip it", p.Kind)
+		}
+		acks = append(acks, p.Payload.(*BulkAck))
+	}))
+	br.Start(time.Second)
+	// Nothing received yet: the clock must stay silent.
+	s.RunUntil(200 * time.Millisecond)
+	if len(acks) != 0 {
+		t.Fatalf("%d acks before any data", len(acks))
+	}
+	p := alloc.New(packet.KindData, 1, 1200, s.Now())
+	p.Seq = 9
+	br.OnData(p)
+	s.RunUntil(time.Second)
+	if len(acks) == 0 {
+		t.Fatal("no acks after data arrived")
+	}
+	last := acks[len(acks)-1]
+	if last.Received != 1 || last.MaxSeq != 9 {
+		t.Fatalf("ack = %+v, want Received=1 MaxSeq=9", last)
+	}
+}

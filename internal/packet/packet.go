@@ -27,6 +27,7 @@ const (
 	KindRTCP         // RTCP feedback (transport-wide CC reports)
 	KindICMP         // ICMP echo probes (core -> SFU)
 	KindCross        // competing cross-traffic from other UEs
+	KindData         // generic sequenced application data (gaming input, bulk transfer)
 )
 
 // String names the kind.
@@ -42,6 +43,8 @@ func (k Kind) String() string {
 		return "icmp"
 	case KindCross:
 		return "cross"
+	case KindData:
+		return "data"
 	}
 	return "unknown"
 }

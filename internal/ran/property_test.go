@@ -107,6 +107,7 @@ func TestRANMultiUEInvariantsProperty(t *testing.T) {
 		BLERx100 uint8 // 0..40%
 		NumUEs   uint8 // 1..5
 		Scheds   []uint8
+		Hints    []uint8
 		Sizes    []uint16
 		GapsMs   []uint8
 		UEPick   []uint8
@@ -122,9 +123,14 @@ func TestRANMultiUEInvariantsProperty(t *testing.T) {
 		for i := range ues {
 			sched := SchedCombined
 			if i < len(w.Scheds) {
-				sched = SchedulerKind(w.Scheds[i] % 6) // every strategy
+				sched = SchedulerKind(w.Scheds[i] % 7) // every strategy, qoe-aware included
 			}
 			ues[i] = r.AttachUE(uint32(i+1), sched)
+			if i < len(w.Hints) {
+				// Arbitrary app-hint mixes: the QoE-aware arbitration
+				// order must preserve the transport invariants too.
+				ues[i].Hint = AppHintClass(w.Hints[i] % 4)
+			}
 		}
 		sent := make([][]*packet.Packet, nUE)
 		sentBytes := make([]units.ByteCount, nUE)

@@ -311,6 +311,14 @@ func (r *RAN) onULSlot() {
 			u.slotGrants = append(u.slotGrants, r.predictiveGrants(u, now)...)
 		case SchedCombined, SchedProactiveOnly:
 			u.slotGrants = append(u.slotGrants, &grant{ue: u, tbs: r.Cfg.ProactiveTBS, due: now, kind: telemetry.GrantProactive})
+		case SchedQoEAware:
+			// StreamGuard-style: speculative proactive grants go to the
+			// latency-sensitive families only. Elastic bulk waits for its
+			// BSR — under load the freed slot budget is exactly what keeps
+			// the interactive UEs' grants timely.
+			if u.Hint != HintThroughput {
+				u.slotGrants = append(u.slotGrants, &grant{ue: u, tbs: r.Cfg.ProactiveTBS, due: now, kind: telemetry.GrantProactive})
+			}
 		}
 	}
 
@@ -320,10 +328,14 @@ func (r *RAN) onULSlot() {
 	//    global FIFO starving latecomers.
 	remaining := capacity
 	n := len(r.ues)
+	order := r.qoeOrder()
 	for remaining > 0 {
 		progress := false
 		for i := 0; i < n && remaining > 0; i++ {
 			u := r.ues[(r.rrStart+i)%n]
+			if order != nil {
+				u = order[i]
+			}
 			if len(u.slotGrants) == 0 {
 				continue
 			}
@@ -347,6 +359,15 @@ func (r *RAN) onULSlot() {
 				}
 			}
 			used := r.transmitTB(g.ue, tbs, g.kind, now)
+			// QoE-aware cells reclaim the unused tail of speculative
+			// grants: strict tier priority would otherwise let idle
+			// proactive allocations of the latency tiers permanently
+			// starve the elastic (throughput-hinted) tier even on an
+			// uncongested cell. Legacy rotation keeps the historical
+			// charge-by-grant accounting byte for byte.
+			if order != nil && g.kind == telemetry.GrantProactive && used < tbs {
+				remaining += tbs - used
+			}
 			// A predicted grant that fired just before its burst arrived
 			// is retried next slot (bounded), so a slightly-early
 			// prediction costs one slot, not a whole period. "Mostly
@@ -407,6 +428,35 @@ func (r *RAN) onULSlot() {
 			ue: u, tbs: want, due: now + r.Cfg.SchedDelay, kind: telemetry.GrantRequested,
 		})
 	}
+}
+
+// qoeOrder returns the slot's allocation order when any attached UE runs
+// the QoE-aware scheduler: the round-robin rotation, stably re-sorted
+// into app-hint priority tiers (latency-sensitive families first,
+// elastic bulk last), so equal-priority UEs still share fairly while a
+// loaded cell spends its budget on the UEs whose QoE actually depends on
+// timeliness. Cells without a QoE-aware UE return nil and keep the plain
+// rotation — the legacy event stream stays untouched byte for byte.
+func (r *RAN) qoeOrder() []*UE {
+	qoe := false
+	for _, u := range r.ues {
+		if u.Sched == SchedQoEAware {
+			qoe = true
+			break
+		}
+	}
+	if !qoe {
+		return nil
+	}
+	n := len(r.ues)
+	order := make([]*UE, n)
+	for i := range order {
+		order[i] = r.ues[(r.rrStart+i)%n]
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Hint.tier() < order[j].Hint.tier()
+	})
+	return order
 }
 
 // transmitTB builds a TB of size tbs from the UE buffer, runs its HARQ

@@ -24,6 +24,14 @@ const (
 	// burst cadence from observed usage and pre-schedules grants, with
 	// BSR as the learning signal and fallback.
 	SchedPredictive
+	// SchedQoEAware is the StreamGuard-style cross-application scheduler:
+	// each UE announces its application family (UE.Hint) at attachment,
+	// and the cell serves grant allocations in hint-priority order —
+	// latency-critical families first, elastic bulk last — while
+	// reserving speculative proactive grants for the families that need
+	// them. Cells with no QoE-aware UE attached behave bit-identically
+	// to SchedCombined arbitration.
+	SchedQoEAware
 )
 
 // String names the strategy.
@@ -41,8 +49,52 @@ func (k SchedulerKind) String() string {
 		return "oracle"
 	case SchedPredictive:
 		return "predictive"
+	case SchedQoEAware:
+		return "qoe-aware"
 	}
 	return "?"
+}
+
+// AppHintClass is the application-family hint a UE announces at
+// attachment (StreamGuard-style): the QoE-aware scheduler maps it to a
+// grant-priority tier. It is advisory — every other scheduler ignores it.
+type AppHintClass uint8
+
+// Application-family hints, in no particular priority order (the
+// scheduler's tier mapping decides precedence).
+const (
+	HintNone           AppHintClass = iota
+	HintLatency                     // interactive input streams (cloud gaming)
+	HintConversational              // real-time media (VCA, audio-only calls)
+	HintThroughput                  // elastic bulk transfer
+)
+
+// String names the hint.
+func (h AppHintClass) String() string {
+	switch h {
+	case HintLatency:
+		return "latency"
+	case HintConversational:
+		return "conversational"
+	case HintThroughput:
+		return "throughput"
+	}
+	return "none"
+}
+
+// tier maps the hint to the QoE-aware service order: lower tiers are
+// served first within each allocation round. Unhinted UEs sit between
+// conversational media and elastic bulk.
+func (h AppHintClass) tier() int {
+	switch h {
+	case HintLatency:
+		return 0
+	case HintConversational:
+		return 1
+	case HintThroughput:
+		return 3
+	}
+	return 2
 }
 
 // bufEntry is one IP packet queued in the UE's uplink buffer, possibly
@@ -71,6 +123,12 @@ type bufEntry struct {
 type UE struct {
 	ID    uint32
 	Sched SchedulerKind
+
+	// Hint is the application-family announcement the QoE-aware
+	// scheduler prioritizes by. Set it right after attachment; a
+	// handover carries it to the target cell (it lives on the UE, not
+	// the cell).
+	Hint AppHintClass
 
 	ran *RAN
 

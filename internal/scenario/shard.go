@@ -354,13 +354,19 @@ func (tr *TopologyResult) Digest() string {
 }
 
 // writeUEDigest renders one UE's correlated output (the multiDigest
-// format of the topology tests, hashed instead of accumulated).
+// format of the topology tests, hashed instead of accumulated). VCA UEs
+// keep the historical receiver-aggregate trailer byte for byte; the
+// other workload families render their canonical QoE score instead.
 func writeUEDigest(w io.Writer, u *UEResult) {
 	fmt.Fprintf(w, "ue=%d flows=%v packets=%d\n", u.ID, u.Flows.All(), len(u.Report.Packets))
 	for _, v := range u.Report.Packets {
 		fmt.Fprintf(w, "%d/%d/%s sent=%d core=%d recv=%d ul=%d tbs=%v\n",
 			v.Flow, v.Seq, v.Kind, v.SentAt, v.CoreAt, v.ReceiverAt, v.ULDelay, v.TBIDs)
 	}
-	fmt.Fprintf(w, "rates=%v jitter=%v stalls=%d\n",
-		u.Receiver.ReceiveRates(), u.Receiver.FrameJitter, u.Receiver.Renderer.Stalls)
+	if u.Receiver != nil {
+		fmt.Fprintf(w, "rates=%v jitter=%v stalls=%d\n",
+			u.Receiver.ReceiveRates(), u.Receiver.FrameJitter, u.Receiver.Renderer.Stalls)
+		return
+	}
+	fmt.Fprintf(w, "workload=%s score=%s\n", u.Workload, u.Score)
 }

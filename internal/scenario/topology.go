@@ -29,11 +29,19 @@ import (
 	"athena/internal/wifi"
 )
 
-// UESpec describes one VCA participant in a Topology: its endpoint
-// pipeline (sender, receiver, congestion controller), clock errors, and
-// scheduling strategy. Flow identifiers are derived from the UE's index
-// (see UEFlowIDs), so specs compose without manual SSRC bookkeeping.
+// UESpec describes one participant in a Topology: its application
+// workload (the VCA endpoint by default), endpoint pipeline knobs,
+// clock errors, and scheduling strategy. Flow identifiers are derived
+// from the UE's index (see UEFlowIDs), so specs compose without manual
+// SSRC bookkeeping.
 type UESpec struct {
+	// Workload selects this UE's application family. Empty means
+	// WorkloadVCA — the historical conferencing endpoint, byte-identical
+	// to the pre-workload pipeline. The non-VCA families require the
+	// Access5G path and ignore the VCA-specific knobs (Controller,
+	// rates, AttachMeta, CaptureGCC, ECN, TwoParty).
+	Workload WorkloadKind
+
 	// Seed drives this UE's media randomness (camera content, encoder
 	// noise): the sender uses Seed+10 and the far party Seed+20,
 	// matching the legacy single-UE wiring when Seed equals the
@@ -238,6 +246,13 @@ type UEResult struct {
 	ID    uint32 // RAN UE identifier (1 + index)
 	Flows FlowIDs
 
+	// Workload is the resolved application family; Score is its
+	// app-level QoE summary, filled by the correlation stage.
+	Workload WorkloadKind
+	Score    WorkloadScore
+
+	// Sender / Receiver are the VCA endpoints (nil on non-VCA
+	// workloads, whose QoE lives in Score).
 	Sender   *vca.Sender
 	Receiver *vca.Receiver
 	GCC      *gcc.GCC        // nil unless a GCC-family controller ran
@@ -316,6 +331,10 @@ type ueBuild struct {
 	idx   int
 	flows FlowIDs
 	res   *UEResult
+
+	// wl is the UE's application workload — the pluggable endpoint stage
+	// behind the shared access and capture plumbing.
+	wl Workload
 
 	senderClk, recvClk *clock.HostClock
 	ctrl               cc.Controller
@@ -426,13 +445,14 @@ func newBuildFor(top Topology, seed int64, ueIdxs []int) *build {
 				RanDelayBySeq: phyaware.NewTable(),
 			},
 		}
-		ub.ctrl = buildController(spec, ub.res)
+		ub.res.Workload = spec.workloadKind()
+		ub.wl = newWorkload(spec, ub)
 		b.ues = append(b.ues, ub)
 		b.res.UEs = append(b.res.UEs, ub.res)
 		b.ueByNTPFlow[ub.flows.NTP] = ub
 		b.ueByMedia[ub.flows.Video] = ub
 		b.ueByMedia[ub.flows.Audio] = ub
-		if spec.TwoParty {
+		if spec.TwoParty && ub.wl.Kind() == WorkloadVCA {
 			b.ueByDLFB[ub.flows.DLVideo] = ub
 		}
 	}
@@ -478,7 +498,7 @@ func (b *build) buildWiredPath() {
 	for _, ub := range b.ues {
 		ub := ub
 		cap4 := packet.NewCapture(packet.PointReceiver, ub.recvClk, s.Now,
-			packet.HandlerFunc(func(p *packet.Packet) { ub.recv().Handle(p) }))
+			packet.HandlerFunc(func(p *packet.Packet) { ub.wl.WiredArrival(p) }))
 		ub.res.CapReceiver = cap4
 		ub.wanDown = netem.NewLink(s, "sfu-recv", 7*time.Millisecond, units.Gbps, cap4)
 		ub.wanDown.Jitter = 500 * time.Microsecond
@@ -591,6 +611,7 @@ func (b *build) buildAccess() {
 		b.res.RAN = b.cell
 		for _, ub := range b.ues {
 			ub.ranUE = b.cell.AttachUE(uint32(ub.idx+1), ub.spec.Sched)
+			ub.ranUE.Hint = ub.wl.Hint()
 			ub.servingCell = b.cell
 		}
 		if b.top.CrossUEs > 0 && len(b.top.CrossPhases) > 0 {
@@ -621,6 +642,7 @@ func (b *build) buildAccess() {
 	for _, ub := range b.ues {
 		cell := b.cellByGlobal[ub.spec.Cell]
 		ub.ranUE = cell.AttachUE(uint32(ub.idx+1), ub.spec.Sched)
+		ub.ranUE.Hint = ub.wl.Hint()
 		ub.servingCell = cell
 		ub.curCell = ub.spec.Cell
 	}
@@ -633,12 +655,12 @@ func (b *build) buildAccess() {
 	}
 }
 
-// buildEndpoint constructs one UE's endpoint pipeline: sender capture
-// (point ①) in front of its access egress, the VCA sender, the feedback
-// return path with the downlink demux, the receiver, and — for TwoParty
-// specs — the far participant's endpoints.
+// buildEndpoint constructs one UE's endpoint stage: the sender capture
+// (point ①) in front of its access egress — shared by every family —
+// then the UE's workload pipeline (for VCA: sender, feedback return
+// path with the downlink demux, receiver, optional TwoParty far end).
 func (b *build) buildEndpoint(ub *ueBuild) {
-	s, top, spec := b.s, b.top, ub.spec
+	s, top := b.s, b.top
 
 	// Access egress: the shared cell's UE attachment, or a private
 	// emulated / Wi-Fi / LEO / wired link into the core capture.
@@ -672,88 +694,8 @@ func (b *build) buildEndpoint(ub *ueBuild) {
 	cap1 := packet.NewCapture(packet.PointSender, ub.senderClk, s.Now, senderOut)
 	ub.res.CapSender = cap1
 
-	snd := vca.NewSender(s, &b.alloc, vca.SenderConfig{
-		VideoSSRC:  ub.flows.Video,
-		AudioSSRC:  ub.flows.Audio,
-		Controller: ub.ctrl,
-		AttachMeta: spec.AttachMeta,
-		ECT:        spec.ECN,
-		Seed:       spec.Seed + 10,
-	}, cap1)
-	ub.snd = snd
-	ub.res.Sender = snd
-
-	// Feedback return path: receiver → SFU → core → downlink.
-	maskIfNeeded := func(p *packet.Packet) *packet.Packet {
-		if spec.Controller != CtlMaskedGCC {
-			return p
-		}
-		if fb, ok := p.Payload.(*rtp.Feedback); ok {
-			p.Payload = cc.MaskFeedback(fb, ub.res.RanDelayBySeq.RANDelay)
-		}
-		return p
-	}
-	toSender := packet.HandlerFunc(func(p *packet.Packet) {
-		p = maskIfNeeded(p)
-		if ub.ranUE != nil {
-			ub.servingCell.SendDownlink(ub.ranUE, p)
-		} else {
-			s.After(top.EmulatedLatency, func() { snd.HandleFeedback(p) })
-		}
-	})
-	if ub.ranUE != nil {
-		// The UE host demuxes downlink arrivals: transport-wide feedback
-		// for the local sender, far-party media for the DL receiver.
-		ub.ranUE.Downlink = packet.HandlerFunc(func(p *packet.Packet) {
-			if p.Kind == packet.KindCross && p.Flow == ub.flows.NTP {
-				// NTP reply back at the sender host.
-				if t1, ok := ub.ntpT1[p.ID]; ok {
-					stamp := ub.ntpT2[p.ID]
-					ub.senderNTP.Add(clock.ProbeSample{
-						T1: t1, T2: stamp, T3: stamp,
-						T4: ub.senderClk.Read(s.Now()),
-					})
-					delete(ub.ntpT1, p.ID)
-					delete(ub.ntpT2, p.ID)
-				}
-				return
-			}
-			if _, isFB := p.Payload.(*rtp.Feedback); isFB {
-				snd.HandleFeedback(p)
-				return
-			}
-			if ub.res.DLReceiver != nil {
-				ub.res.DLReceiver.Handle(p)
-			}
-		})
-	}
-	fbWan := netem.NewLink(s, "recv-core", 15*time.Millisecond, units.Gbps, toSender)
-	recv := vca.NewReceiver(s, &b.alloc, ub.flows.Video, snd.FrameStore, fbWan)
-	ub.res.Receiver = recv
-
-	// Far participant (TwoParty): remote sender → WAN → downlink →
-	// receiver on the UE host; feedback rides the UE uplink.
-	if spec.TwoParty && ub.ranUE != nil {
-		dlCtrl := gcc.New(spec.InitialRate, spec.MinRate, spec.MaxRate)
-		remoteOut := packet.HandlerFunc(func(p *packet.Packet) {
-			s.After(15*time.Millisecond, func() { ub.servingCell.SendDownlink(ub.ranUE, p) })
-		})
-		ub.res.DLSender = vca.NewSender(s, &b.alloc, vca.SenderConfig{
-			VideoSSRC:  ub.flows.DLVideo,
-			AudioSSRC:  ub.flows.DLAudio,
-			Controller: dlCtrl,
-			Seed:       spec.Seed + 20,
-		}, remoteOut)
-		// Feedback from the UE host enters the UE's uplink buffer and
-		// competes with the local media.
-		fbUp := packet.HandlerFunc(func(p *packet.Packet) { ub.ranUE.Handle(p) })
-		ub.res.DLReceiver = vca.NewReceiver(s, &b.alloc, ub.flows.DLVideo, ub.res.DLSender.FrameStore, fbUp)
-	}
+	ub.wl.Build(b, ub)
 }
-
-// recv defers the receiver lookup: the point-④ capture is built before
-// the endpoint stage fills in the receiver.
-func (ub *ueBuild) recv() *vca.Receiver { return ub.res.Receiver }
 
 // buildProbes constructs the shared ICMP prober and, per UE with
 // EstimateOffsets, the NTP clients whose sender-side exchanges ride the
@@ -793,26 +735,18 @@ func (b *build) buildProbes() {
 	}
 }
 
-// start launches every endpoint and the prober.
+// start launches every workload and the prober.
 func (b *build) start() {
 	for _, ub := range b.ues {
-		ub.snd.Start()
-		ub.res.Receiver.Start()
-		if ub.res.DLSender != nil {
-			ub.res.DLSender.Start()
-			ub.res.DLReceiver.Start()
-		}
+		ub.wl.Start()
 	}
 	b.prober.Start(b.top.ProbeInterval)
 }
 
-// stop halts the media sources after the run.
+// stop halts the traffic sources after the run.
 func (b *build) stop() {
 	for _, ub := range b.ues {
-		ub.snd.Stop()
-		if ub.res.DLSender != nil {
-			ub.res.DLSender.Stop()
-		}
+		ub.wl.Stop()
 	}
 }
 
@@ -902,6 +836,7 @@ func (b *build) correlate() {
 			in.TBs = tbsByUE[i]
 		}
 		ub.res.Report = core.Correlate(in)
+		ub.res.Score = ub.wl.Score(b.top.Duration)
 	}
 
 	workers := runtime.GOMAXPROCS(0)

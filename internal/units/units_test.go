@@ -101,8 +101,11 @@ func TestClampRate(t *testing.T) {
 // bytes that fit in d at rate r should take about d.
 func TestTransmitTimeBytesOverRoundTrip(t *testing.T) {
 	f := func(rateKbps uint16, ms uint8) bool {
-		r := BitRate(rateKbps+1) * Kbps
-		d := time.Duration(ms+1) * time.Millisecond
+		// Widen before the +1: the increment must not wrap the narrow
+		// generator types (rateKbps=0xffff or ms=0xff would otherwise
+		// yield a zero rate or duration).
+		r := (BitRate(rateKbps) + 1) * Kbps
+		d := (time.Duration(ms) + 1) * time.Millisecond
 		b := BytesOver(r, d)
 		back := TransmitTime(b, r)
 		diff := back - d
@@ -120,8 +123,9 @@ func TestTransmitTimeBytesOverRoundTrip(t *testing.T) {
 // RateOf(TransmitTime) should recover the original rate within rounding.
 func TestRateOfTransmitTimeRoundTrip(t *testing.T) {
 	f := func(rateKbps uint16, kb uint8) bool {
-		r := BitRate(rateKbps+1) * Kbps
-		b := ByteCount(kb+1) * KB
+		// Widen before the +1 (see the round-trip test above).
+		r := (BitRate(rateKbps) + 1) * Kbps
+		b := (ByteCount(kb) + 1) * KB
 		d := TransmitTime(b, r)
 		got := RateOf(b, d)
 		ratio := float64(got) / float64(r)

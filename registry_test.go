@@ -1,7 +1,7 @@
 package athena
 
 // Registry completeness and compatibility: the registry is the single
-// source of truth for the 21 evaluation artifacts, every legacy
+// source of truth for the 23 evaluation artifacts, every legacy
 // exported driver resolves to its registry entry, and the registry-
 // driven sweep path renders byte-identical output to calling the legacy
 // entry points directly — so future perf PRs can diff run manifests
@@ -21,7 +21,7 @@ var allIDs = []string{
 	"F3", "F4", "F5", "F6", "F7", "F8", "F9a", "F9b", "F10",
 	"M1", "M2", "M3", "M4",
 	"A1", "A2", "A3", "A4",
-	"S1", "S2", "S3", "S4",
+	"S1", "S2", "S3", "S4", "S8", "S9",
 }
 
 // legacyDrivers maps every exported compatibility wrapper to its ID.
@@ -31,10 +31,11 @@ var legacyDrivers = map[string]func(Options) *FigureData{
 	"M1": M1, "M2": M2, "M3": M3, "M4": M4,
 	"A1": A1, "A2": A2, "A3": A3, "A4": A4,
 	"S1": S1PHYContexts, "S2": S2AccessNetworks, "S3": S3LearningCC, "S4": S4AppDiversity,
+	"S8": S8MixedWorkloads, "S9": S9QoEScheduler,
 }
 
 func TestRegistryCompleteAndStable(t *testing.T) {
-	// The driver registrations plus anything a test registered; the 21
+	// The driver registrations plus anything a test registered; the 23
 	// built-ins must be present exactly once, in canonical order.
 	var builtin []Experiment
 	seen := map[string]bool{}
