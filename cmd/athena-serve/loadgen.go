@@ -71,6 +71,19 @@ type serveReport struct {
 	// with a nonzero exit, so a written report always has
 	// digest_matches == sessions.
 	DigestMatches int `json:"digest_matches"`
+
+	// Fleet observability verification (in-process targets only): the
+	// /v1/overview integer cause totals matched the sum of every
+	// session's final attribution exactly, the /metrics Prometheus
+	// exposition linted and round-tripped against the JSON snapshot, and
+	// the /v1/events stream accounted for every lifecycle event.
+	OverviewPackets  int64  `json:"overview_packets,omitempty"`
+	OverviewExactNS  bool   `json:"overview_exact_ns,omitempty"`
+	PromFamilies     int    `json:"prom_families,omitempty"`
+	EventsEmitted    uint64 `json:"events_emitted,omitempty"`
+	EventsDropped    int64  `json:"events_dropped,omitempty"`
+	EventsCreateSeen int64  `json:"events_create_seen,omitempty"`
+	EventsCloseSeen  int64  `json:"events_close_seen,omitempty"`
 }
 
 // streamWork is one tapped session stream prepared for replication: the
@@ -117,7 +130,11 @@ func buildWork(p loadgenParams) ([]streamWork, error) {
 		w := &work[i]
 		w.id = ss.ID
 		w.wantDigest = core.Correlate(ss.Input).PacketsDigest()
-		w.cfg = session.Config{Input: ss.Input}
+		w.cfg = session.Config{
+			Input:    ss.Input,
+			Cell:     fmt.Sprintf("cell%d", ss.Cell),
+			Workload: string(ss.Workload),
+		}
 		w.cfg.Input.Sender, w.cfg.Input.Core, w.cfg.Input.TBs = nil, nil, nil
 		for _, ch := range ss.Chunks(p.Tick) {
 			enc, err := json.Marshal(session.Batch{
@@ -161,7 +178,10 @@ func runLoadgen(p loadgenParams) (*serveReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv := &http.Server{Handler: session.NewRegistry().Handler()}
+		reg := session.NewRegistry()
+		reg.Events = obs.NewEventLog(obs.DefaultEventBuffer)
+		reg.AnomalyHARQP99 = 50 * time.Millisecond
+		srv := &http.Server{Handler: reg.Handler()}
 		go srv.Serve(ln)
 		defer srv.Close()
 		target = "http://" + ln.Addr().String()
@@ -175,6 +195,7 @@ func runLoadgen(p loadgenParams) (*serveReport, error) {
 	// fed chunk by chunk, digest-verified and deleted before the worker
 	// moves on, so up to p.Workers sessions are live at once.
 	lats := make([][]int64, p.Workers)
+	finals := make([][]session.Status, p.Workers)
 	errs := make([]error, p.Workers)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -185,10 +206,12 @@ func runLoadgen(p loadgenParams) (*serveReport, error) {
 			for i := w; i < p.Sessions; i += p.Workers {
 				sw := &work[i%len(work)]
 				id := fmt.Sprintf("lg-%04d-%s", i, sw.id)
-				if err := runSession(client, target, id, sw, &lats[w]); err != nil {
+				st, err := runSession(client, target, id, sw, &lats[w])
+				if err != nil {
 					errs[w] = fmt.Errorf("session %s: %w", id, err)
 					return
 				}
+				finals[w] = append(finals[w], st)
 			}
 		}(w)
 	}
@@ -238,6 +261,15 @@ func runLoadgen(p loadgenParams) (*serveReport, error) {
 		rep.ServerFeedP50NS, rep.ServerFeedP99NS = h.P50, h.P99
 	}
 
+	// Fleet verification only makes sense against a server this run owns
+	// exclusively: a shared external target carries other tenants'
+	// sessions in its rollup and event stream.
+	if inproc {
+		if err := verifyFleet(client, target, finals, rep); err != nil {
+			return nil, fmt.Errorf("fleet verification: %w", err)
+		}
+	}
+
 	if p.Out != "" {
 		enc, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -251,13 +283,14 @@ func runLoadgen(p loadgenParams) (*serveReport, error) {
 }
 
 // runSession drives one session through its full lifecycle, appending
-// each POST /records round-trip time to lat.
-func runSession(c *http.Client, target, id string, sw *streamWork, lat *[]int64) error {
+// each POST /records round-trip time to lat, and returns the final
+// (post-close) status for fleet-level verification.
+func runSession(c *http.Client, target, id string, sw *streamWork, lat *[]int64) (session.Status, error) {
 	cfg := sw.cfg
 	cfg.ID = id
 	var st session.Status
 	if err := doJSON(c, "POST", target+"/v1/sessions", mustEncode(cfg), http.StatusCreated, &st); err != nil {
-		return fmt.Errorf("create: %w", err)
+		return st, fmt.Errorf("create: %w", err)
 	}
 	var fr session.FeedResponse
 	for i, enc := range sw.chunks {
@@ -265,20 +298,134 @@ func runSession(c *http.Client, target, id string, sw *streamWork, lat *[]int64)
 		err := doJSON(c, "POST", target+"/v1/sessions/"+id+"/records", enc, http.StatusOK, &fr)
 		*lat = append(*lat, int64(time.Since(t0)))
 		if err != nil {
-			return fmt.Errorf("feed chunk %d: %w", i, err)
+			return st, fmt.Errorf("feed chunk %d: %w", i, err)
 		}
 	}
 	if err := doJSON(c, "GET", target+"/v1/sessions/"+id+"/attribution", nil, http.StatusOK, &st); err != nil {
-		return fmt.Errorf("query: %w", err)
+		return st, fmt.Errorf("query: %w", err)
 	}
 	if st.Feed.Pending != 0 {
-		return fmt.Errorf("replay left %d packets pending", st.Feed.Pending)
+		return st, fmt.Errorf("replay left %d packets pending", st.Feed.Pending)
 	}
 	if st.Digest != sw.wantDigest {
-		return fmt.Errorf("digest mismatch: streamed %s, offline %s", st.Digest, sw.wantDigest)
+		return st, fmt.Errorf("digest mismatch: streamed %s, offline %s", st.Digest, sw.wantDigest)
 	}
 	if err := doJSON(c, "DELETE", target+"/v1/sessions/"+id, nil, http.StatusOK, &st); err != nil {
-		return fmt.Errorf("close: %w", err)
+		return st, fmt.Errorf("close: %w", err)
+	}
+	return st, nil
+}
+
+// verifyFleet cross-checks the server's fleet observability against the
+// ground truth this loadgen run holds: the sum of every session's final
+// integer attribution totals. Three independent surfaces must agree —
+// the /v1/overview rollup (exactly, integer for integer), the /metrics
+// Prometheus exposition (lints and round-trips the feed histogram
+// against the JSON snapshot), and the /v1/events stream (every create
+// paired with a close).
+func verifyFleet(c *http.Client, target string, finals [][]session.Status, rep *serveReport) error {
+	var wantPackets int64
+	wantNS := make(map[core.Cause]int64)
+	var sessions int64
+	for _, fs := range finals {
+		for _, st := range fs {
+			sessions++
+			wantPackets += int64(st.Attribution.Packets)
+			for cause, ns := range st.Attribution.TotalNS {
+				wantNS[cause] += ns
+			}
+		}
+	}
+
+	var ov session.Overview
+	if err := doJSON(c, "GET", target+"/v1/overview", nil, http.StatusOK, &ov); err != nil {
+		return fmt.Errorf("overview: %w", err)
+	}
+	if ov.Packets != wantPackets {
+		return fmt.Errorf("overview packets %d != session sum %d", ov.Packets, wantPackets)
+	}
+	for cause, ns := range wantNS {
+		if ov.TotalNS[cause] != ns {
+			return fmt.Errorf("overview %s: %d ns != session sum %d ns", cause, ov.TotalNS[cause], ns)
+		}
+		if ov.TotalMS[cause] != float64(ns)/1e6 {
+			return fmt.Errorf("overview %s: ms %v is not the exact rendering of %d ns", cause, ov.TotalMS[cause], ns)
+		}
+	}
+	rep.OverviewPackets = ov.Packets
+	rep.OverviewExactNS = true
+
+	// Prometheus exposition: lint, then round-trip the feed histogram
+	// against the JSON snapshot of the same registry. All sessions are
+	// closed, so serve.http.feed_ns is quiescent between the two scrapes.
+	resp, err := c.Get(target + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		return fmt.Errorf("/metrics content type %q", ct)
+	}
+	page, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return fmt.Errorf("exposition does not lint: %w", err)
+	}
+	rep.PromFamilies = len(page.Families)
+	snap, err := fetchMetrics(c, target)
+	if err != nil {
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	want := snap.Histograms["serve.http.feed_ns"]
+	fam := page.Families[obs.PromName("serve.http.feed_ns")]
+	if fam == nil {
+		return fmt.Errorf("serve.http.feed_ns missing from exposition")
+	}
+	_, sum, count, err := fam.HistogramCounts()
+	if err != nil {
+		return fmt.Errorf("feed histogram: %w", err)
+	}
+	if count != want.Count || sum != float64(want.Sum) {
+		return fmt.Errorf("feed histogram count/sum %d/%v != snapshot %d/%d",
+			count, sum, want.Count, want.Sum)
+	}
+
+	// Event stream: paginate from zero and pair every create with a
+	// close. An overrun ring (dropped > 0) makes counting unsound; report
+	// it instead of failing, since the ring size is a deployment choice.
+	var since uint64
+	var dropped int64
+	var creates, closes int64
+	for {
+		var pageResp session.EventsResponse
+		url := fmt.Sprintf("%s/v1/events?since=%d&max=500", target, since)
+		if err := doJSON(c, "GET", url, nil, http.StatusOK, &pageResp); err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		dropped += pageResp.Dropped
+		var last uint64
+		for _, e := range pageResp.Events {
+			if e.Seq <= last && last != 0 {
+				return fmt.Errorf("event seqs not monotonic: %d after %d", e.Seq, last)
+			}
+			last = e.Seq
+			switch e.Type {
+			case "session.create":
+				creates++
+			case "session.close":
+				closes++
+			}
+		}
+		rep.EventsEmitted = pageResp.Stats.Emitted
+		rep.EventsDropped = pageResp.Stats.Dropped
+		if len(pageResp.Events) == 0 {
+			break
+		}
+		since = pageResp.Next
+	}
+	rep.EventsCreateSeen, rep.EventsCloseSeen = creates, closes
+	if dropped == 0 && (creates != sessions || closes != sessions) {
+		return fmt.Errorf("event stream saw %d creates / %d closes for %d sessions",
+			creates, closes, sessions)
 	}
 	return nil
 }
@@ -317,7 +464,7 @@ func doJSON(c *http.Client, method, url string, body []byte, want int, out any) 
 
 func fetchMetrics(c *http.Client, target string) (*obs.Snapshot, error) {
 	var snap obs.Snapshot
-	if err := doJSON(c, "GET", target+"/metrics", nil, http.StatusOK, &snap); err != nil {
+	if err := doJSON(c, "GET", target+"/metrics/json", nil, http.StatusOK, &snap); err != nil {
 		return nil, err
 	}
 	return &snap, nil

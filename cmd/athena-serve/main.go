@@ -49,6 +49,10 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address (server mode)")
 	maxSessions := flag.Int("max-sessions", 0, "session capacity, 0 = unbounded")
+	eventsOut := flag.String("events-out", "", "append the structured event stream (JSONL) to this file")
+	eventBuffer := flag.Int("event-buffer", obs.DefaultEventBuffer, "event ring-buffer capacity served by /v1/events")
+	anomalyHARQ := flag.Duration("anomaly-harq-p99", 50*time.Millisecond, "per-session HARQ-attributed p99 bound; crossings emit session.anomaly events, 0 disables")
+	promlint := flag.String("promlint", "", "lint a scraped Prometheus exposition page (a file, or - for stdin) and exit")
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of a server")
 	target := flag.String("target", "", "loadgen: server URL; empty runs an in-process server")
 	sessions := flag.Int("sessions", 120, "loadgen: concurrent session count")
@@ -61,6 +65,15 @@ func main() {
 	workers := flag.Int("workers", 0, "loadgen: concurrent feeders, 0 = 2x GOMAXPROCS")
 	out := flag.String("out", "BENCH_serve.json", "loadgen: report path, empty skips the write")
 	flag.Parse()
+
+	if *promlint != "" {
+		n, err := lintExposition(*promlint)
+		if err != nil {
+			log.Fatalf("promlint %s: %v", *promlint, err)
+		}
+		log.Printf("promlint %s: %d families ok", *promlint, n)
+		return
+	}
 
 	if *loadgen {
 		p := loadgenParams{
@@ -94,10 +107,23 @@ func main() {
 	defer stop()
 	reg := session.NewRegistry()
 	reg.MaxSessions = *maxSessions
+	reg.AnomalyHARQP99 = *anomalyHARQ
+	reg.Events = obs.NewEventLog(*eventBuffer)
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		reg.Events.SetSink(f)
+	}
 	log.Printf("listening on %s", ln.Addr())
 	drained, err := serve(ctx, ln, reg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := reg.Events.SinkErr(); err != nil {
+		log.Printf("events sink detached: %v", err)
 	}
 	log.Printf("drained %d sessions, bye", drained)
 }
@@ -135,3 +161,28 @@ func serve(ctx context.Context, ln net.Listener, reg *session.Registry) (int, er
 // shutdownGrace bounds how long in-flight requests may run once a
 // shutdown signal arrives.
 const shutdownGrace = 10 * time.Second
+
+// lintExposition parses one Prometheus text page (a scraped /metrics
+// capture, or stdin for "-") with the in-repo parser and returns the
+// family count. It lets CI lint a live scrape without promtool.
+func lintExposition(path string) (int, error) {
+	var r *os.File
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	pt, err := obs.ParsePrometheus(r)
+	if err != nil {
+		return 0, err
+	}
+	if len(pt.Families) == 0 {
+		return 0, errors.New("no metric families")
+	}
+	return len(pt.Families), nil
+}

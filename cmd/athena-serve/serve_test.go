@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"athena/internal/obs"
 	"athena/internal/session"
 )
 
@@ -44,6 +45,19 @@ func TestLoadgenEndToEndSharded(t *testing.T) {
 	}
 	if rep.Records == 0 || rep.Batches == 0 || rep.ClientPostP99NS == 0 {
 		t.Fatalf("empty measurement: %+v", rep)
+	}
+	// Fleet verification ran against the in-process server: overview
+	// totals matched the session sums exactly, the Prometheus exposition
+	// linted, and every created session's close event was seen.
+	if !rep.OverviewExactNS || rep.OverviewPackets == 0 {
+		t.Fatalf("overview verification did not run: %+v", rep)
+	}
+	if rep.PromFamilies == 0 {
+		t.Fatal("no Prometheus families scraped")
+	}
+	if rep.EventsCreateSeen != int64(p.Sessions) || rep.EventsCloseSeen != int64(p.Sessions) {
+		t.Fatalf("event stream saw %d/%d create/close for %d sessions",
+			rep.EventsCreateSeen, rep.EventsCloseSeen, p.Sessions)
 	}
 
 	enc, err := os.ReadFile(out)
@@ -119,9 +133,102 @@ func TestLoadgenDetectsCorruption(t *testing.T) {
 	defer srv.Close()
 
 	var lat []int64
-	err = runSession(http.DefaultClient, "http://"+ln.Addr().String(), "corrupt", &work[0], &lat)
+	_, err = runSession(http.DefaultClient, "http://"+ln.Addr().String(), "corrupt", &work[0], &lat)
 	if err == nil {
 		t.Fatal("out-of-order replay passed verification")
+	}
+}
+
+// TestSessionDigestsUnchangedByFleetObservability pins digest
+// neutrality: the same session stream produces bit-identical attribution
+// digests whether it feeds a bare registry or one with rollups, a live
+// event log, metrics collection, and an aggressive anomaly bound all
+// enabled. Observability must observe, never perturb.
+func TestSessionDigestsUnchangedByFleetObservability(t *testing.T) {
+	work, err := buildWork(loadgenParams{
+		Sessions: 1, UEs: 2, Cells: 2, Duration: 2 * time.Second,
+		Tick: 100 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(reg *session.Registry) []session.Status {
+		t.Helper()
+		var out []session.Status
+		for _, sw := range work {
+			cfg := sw.cfg
+			cfg.ID = "n-" + sw.id
+			s, err := reg.Create(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, enc := range sw.chunks {
+				var b session.Batch
+				if err := json.Unmarshal(enc, &b); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Feed(&b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err := reg.Close(cfg.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+
+	bare := run(session.NewRegistry())
+
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.ResetAll()
+	}()
+	instrumented := session.NewRegistry()
+	instrumented.Events = obs.NewEventLog(256)
+	// A 1 ns bound guarantees the anomaly path actually fires on any
+	// stream with HARQ-attributed delay.
+	instrumented.AnomalyHARQP99 = 1
+	instr := run(instrumented)
+
+	if len(bare) != len(instr) || len(bare) == 0 {
+		t.Fatalf("session counts diverge: %d vs %d", len(bare), len(instr))
+	}
+	for i := range bare {
+		if bare[i].Digest != instr[i].Digest {
+			t.Fatalf("session %s: digest %s (bare) != %s (instrumented)",
+				bare[i].ID, bare[i].Digest, instr[i].Digest)
+		}
+		if bare[i].DigestViews != instr[i].DigestViews {
+			t.Fatalf("session %s: %d vs %d digested views", bare[i].ID, bare[i].DigestViews, instr[i].DigestViews)
+		}
+		if bare[i].Attribution.Packets == 0 {
+			t.Fatalf("session %s attributed nothing; neutrality check is vacuous", bare[i].ID)
+		}
+	}
+
+	// The instrumented run must actually have observed something, or the
+	// comparison proves nothing.
+	st := instrumented.Events.Stats()
+	if st.Emitted == 0 {
+		t.Fatal("instrumented run emitted no events")
+	}
+	evs, _, _ := instrumented.Events.Since(0, 0)
+	var sawAnomaly bool
+	for _, e := range evs {
+		if e.Type == "session.anomaly" {
+			sawAnomaly = true
+		}
+	}
+	if !sawAnomaly {
+		t.Fatal("1ns anomaly bound never fired; the anomaly path went unexercised")
+	}
+	if ov := instrumented.Overview(); ov.Packets == 0 {
+		t.Fatal("instrumented rollup folded nothing")
 	}
 }
 

@@ -29,8 +29,10 @@ func publishMetrics() {
 
 // DebugHandler returns the opt-in debug mux: the expvar variable dump
 // (including an "athena.metrics" snapshot of this registry) under
-// /debug/vars and the pprof profile family under /debug/pprof/. It is
-// built on a private mux so importing this package never mutates
+// /debug/vars, the registry itself under /metrics (Prometheus text
+// exposition, or the JSON snapshot via Accept: application/json or
+// /metrics/json), and the pprof profile family under /debug/pprof/. It
+// is built on a private mux so importing this package never mutates
 // http.DefaultServeMux. Safe to call any number of times — every server
 // in a multi-server process gets its own mux over the one shared
 // publication.
@@ -38,6 +40,8 @@ func DebugHandler() http.Handler {
 	publishMetrics()
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/metrics/json", MetricsJSONHandler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)

@@ -173,10 +173,17 @@ type HistBucket struct {
 	N  int64 `json:"n"`
 }
 
-// HistSnapshot is a histogram's exported state. Quantiles are estimated
-// at each bucket's upper bound, so they are upper bounds accurate to a
-// factor of two — adequate for spotting order-of-magnitude shifts in
-// queue waits and run durations.
+// HistSnapshot is a histogram's exported state.
+//
+// Quantile estimator bias: P50/P90/P99 are reported as the inclusive
+// upper bound (2^i - 1) of the bucket containing the rank-⌊q·count⌋
+// observation (0-based rank). The estimate therefore never understates
+// the true quantile but may overstate it by up to 2× (the bucket width),
+// with equality exactly when the observations in the selected bucket sit
+// at its bound. The estimate is monotone in q and exact for count == 0
+// (reported as 0). This is adequate for spotting order-of-magnitude
+// shifts in queue waits and run durations, not for SLO arithmetic —
+// pinned by an exact-count unit test over known observations.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
@@ -200,6 +207,32 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s.P90 = quantile(counts[:], s.Count, 0.90)
 	s.P99 = quantile(counts[:], s.Count, 0.99)
 	return s
+}
+
+// Quantile estimates quantile q (in [0,1]) directly from the live
+// buckets without building a snapshot: it walks the fixed bucket array
+// on the stack and allocates nothing, so callers may evaluate it on the
+// feed path (e.g. per-batch anomaly threshold checks). It carries the
+// same upper-bound bias documented on HistSnapshot. Concurrent Observe
+// calls may be partially visible; the result is a racy-consistent
+// estimate, which is all a threshold check needs.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(histBuckets - 1)
 }
 
 // bucketBound is bucket i's inclusive upper bound.

@@ -197,6 +197,85 @@ func TestWriteMetricsJSON(t *testing.T) {
 	})
 }
 
+// TestHistogramQuantileExactCounts pins the quantile estimator with
+// exact bucket arithmetic: known observation counts land in known
+// power-of-two buckets, so P50/P90/P99 must equal those buckets' upper
+// bounds exactly — and the live Quantile method must agree with the
+// snapshot path for every rank, including the bias cases documented in
+// the HistSnapshot godoc (the estimate is the bucket's 2^i - 1 bound,
+// never the raw observation).
+func TestHistogramQuantileExactCounts(t *testing.T) {
+	h := NewHistogram("test.hist.exact")
+	withObs(t, func() {
+		// 50×3 (bucket le 3), 30×10 (le 15), 15×100 (le 127), 5×5000 (le 8191).
+		obs := []struct {
+			v int64
+			n int
+		}{{3, 50}, {10, 30}, {100, 15}, {5000, 5}}
+		for _, o := range obs {
+			for i := 0; i < o.n; i++ {
+				h.Observe(o.v)
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != 100 {
+			t.Fatalf("count %d", s.Count)
+		}
+		// Rank arithmetic (0-based rank ⌊q·100⌋): rank 50 is the 51st
+		// observation → first of the 10s → le 15. Rank 90 is the 11th of
+		// the 100s+5000s block → le 127. Rank 99 → le 8191.
+		if s.P50 != 15 || s.P90 != 127 || s.P99 != 8191 {
+			t.Fatalf("P50/P90/P99 = %d/%d/%d, want 15/127/8191", s.P50, s.P90, s.P99)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.49, 0.51, 0.9, 0.99, 1.0} {
+			want := quantile(snapshotCounts(s), s.Count, q)
+			if got := h.Quantile(q); got != want {
+				t.Fatalf("Quantile(%v) = %d, snapshot path says %d", q, got, want)
+			}
+		}
+		// Upper-bound bias: every observation of 3 reports as 3 (bucket
+		// bound), but an observation of 2 in the same bucket also reports 3.
+		h2 := NewHistogram("test.hist.exact.bias")
+		h2.Observe(2)
+		if got := h2.Quantile(0.5); got != 3 {
+			t.Fatalf("bias case: Quantile(0.5) of {2} = %d, want bucket bound 3", got)
+		}
+		// Empty histogram: all quantiles are 0.
+		if NewHistogram("test.hist.exact.empty").Quantile(0.99) != 0 {
+			t.Fatal("empty histogram quantile != 0")
+		}
+	})
+}
+
+// snapshotCounts re-derives the dense bucket array from a snapshot's
+// sparse non-empty buckets.
+func snapshotCounts(s HistSnapshot) []int64 {
+	counts := make([]int64, histBuckets)
+	for _, b := range s.Buckets {
+		for i := 0; i < histBuckets; i++ {
+			if bucketBound(i) == b.Le {
+				counts[i] = b.N
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// The live Quantile path must stay allocation-free: it runs on the
+// session feed path (per-batch anomaly checks).
+func TestHistogramQuantileNoAllocs(t *testing.T) {
+	h := NewHistogram("test.hist.quantile.alloc")
+	withObs(t, func() {
+		for i := int64(1); i < 1000; i++ {
+			h.Observe(i)
+		}
+		if n := testing.AllocsPerRun(1000, func() { _ = h.Quantile(0.99) }); n != 0 {
+			t.Fatalf("Quantile allocates %.1f/op", n)
+		}
+	})
+}
+
 // TestRecordPathNoAllocs pins the package contract: the record path
 // never allocates, with collection disabled or enabled.
 func TestRecordPathNoAllocs(t *testing.T) {

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately small Prometheus text-format parser and
+// lint, so CI and the load generator can verify the /metrics exposition
+// without an external promtool. It accepts the subset WritePrometheus
+// emits (plus HELP lines and label sets in general) and enforces the
+// invariants a scraper relies on:
+//
+//   - every sample belongs to a family declared by a preceding # TYPE
+//   - metric and label names are legal, values parse as floats
+//   - no duplicate series (same name and label set twice)
+//   - histogram families have _sum, _count, and an le="+Inf" bucket
+//     equal to _count, with cumulative bucket counts non-decreasing in
+//     increasing le order
+
+// PromSample is one exposition sample: the full series name (including
+// any _bucket/_sum/_count suffix), its label set, and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one declared metric family and its samples in input
+// order.
+type PromFamily struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary or untyped
+	Samples []PromSample
+}
+
+// PromText is a parsed exposition page.
+type PromText struct {
+	Families map[string]*PromFamily
+	Order    []string // family declaration order
+}
+
+// HistogramCounts extracts a histogram family's buckets (sorted by le,
+// cumulative counts), sum and count. It fails on any histogram-shape
+// violation, making it the lint backbone for histogram families.
+func (f *PromFamily) HistogramCounts() (buckets []PromBucket, sum float64, count int64, err error) {
+	if f.Type != "histogram" {
+		return nil, 0, 0, fmt.Errorf("%s: not a histogram (%s)", f.Name, f.Type)
+	}
+	var haveSum, haveCount, haveInf bool
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_sum":
+			sum, haveSum = s.Value, true
+		case f.Name + "_count":
+			count, haveCount = int64(s.Value), true
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, 0, 0, fmt.Errorf("%s: bad le %q: %v", f.Name, le, err)
+				}
+			} else {
+				haveInf = true
+			}
+			buckets = append(buckets, PromBucket{Le: bound, Cum: int64(s.Value)})
+		default:
+			return nil, 0, 0, fmt.Errorf("%s: unexpected histogram series %s", f.Name, s.Name)
+		}
+	}
+	if !haveSum || !haveCount || !haveInf {
+		return nil, 0, 0, fmt.Errorf(`%s: histogram missing _sum, _count or le="+Inf"`, f.Name)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Le < buckets[j].Le })
+	var prev int64
+	for _, b := range buckets {
+		if b.Cum < prev {
+			return nil, 0, 0, fmt.Errorf("%s: bucket counts not cumulative at le=%g", f.Name, b.Le)
+		}
+		prev = b.Cum
+	}
+	if buckets[len(buckets)-1].Cum != count {
+		return nil, 0, 0, fmt.Errorf(`%s: le="+Inf" bucket %d != count %d`,
+			f.Name, buckets[len(buckets)-1].Cum, count)
+	}
+	return buckets, sum, count, nil
+}
+
+// PromBucket is one histogram bucket: inclusive upper bound and the
+// cumulative observation count at or below it.
+type PromBucket struct {
+	Le  float64
+	Cum int64
+}
+
+// ParsePrometheus parses and lints one exposition page. Any violation of
+// the format subset described above is an error.
+func ParsePrometheus(r io.Reader) (*PromText, error) {
+	out := &PromText{Families: make(map[string]*PromFamily)}
+	type seriesKey struct{ name, labels string }
+	seen := make(map[seriesKey]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line", lineno)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q", lineno, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineno, typ)
+				}
+				if _, dup := out.Families[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineno, name)
+				}
+				out.Families[name] = &PromFamily{Name: name, Type: typ}
+				out.Order = append(out.Order, name)
+			}
+			continue // HELP and comments
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		fam := out.Families[familyOf(s.Name, out.Families)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineno, s.Name)
+		}
+		key := seriesKey{s.Name, canonLabels(s.Labels)}
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s%s", lineno, s.Name, key.labels)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Histogram-shape lint across every declared histogram.
+	for _, name := range out.Order {
+		f := out.Families[name]
+		if f.Type == "histogram" {
+			if _, _, _, err := f.HistogramCounts(); err != nil {
+				return nil, err
+			}
+		} else if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("%s: TYPE declared but no samples", name)
+		}
+	}
+	return out, nil
+}
+
+// familyOf resolves a sample name to its declared family, stripping the
+// histogram series suffixes when the base name is a declared histogram.
+func familyOf(name string, fams map[string]*PromFamily) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := fams[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		// A single value; timestamps are not part of our exposition.
+		return s, fmt.Errorf("want exactly one value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed label %q", part)
+		}
+		if !validPromName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		unq, err := strconv.Unquote(val)
+		if err != nil {
+			return nil, fmt.Errorf("label %s value %s not quoted: %v", name, val, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = unq
+	}
+	return labels, nil
+}
+
+func canonLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "{%s=%q}", k, labels[k])
+	}
+	return b.String()
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

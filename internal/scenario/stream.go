@@ -26,6 +26,13 @@ type SessionStream struct {
 	UE int
 	ID string
 
+	// Cell is the UE's initial attach cell (Topology.Cells index, 0 on
+	// single-cell topologies); Workload is the resolved application
+	// family. Both are rollup dimension labels for a session server
+	// (session.Config.Cell / .Workload).
+	Cell     int
+	Workload WorkloadKind
+
 	Input core.Input
 }
 
@@ -100,10 +107,16 @@ func groupStreams(top Topology, ues []*UEResult, capCore []packet.Record, tbs []
 		if tbsByUE != nil {
 			in.TBs = tbsByUE[i]
 		}
+		workload := u.Workload
+		if workload == "" {
+			workload = u.Spec.workloadKind()
+		}
 		out = append(out, SessionStream{
-			UE:    int(u.ID) - 1,
-			ID:    fmt.Sprintf("ue%d", u.ID),
-			Input: in,
+			UE:       int(u.ID) - 1,
+			ID:       fmt.Sprintf("ue%d", u.ID),
+			Cell:     u.Spec.Cell,
+			Workload: workload,
+			Input:    in,
 		})
 	}
 	return out

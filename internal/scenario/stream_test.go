@@ -68,6 +68,50 @@ func TestSessionStreamsMatchOfflineSharded(t *testing.T) {
 	assertStreamsMatchOffline(t, res, 100*time.Millisecond)
 }
 
+// TestSessionStreamLabels pins the rollup dimension labels on tapped
+// streams: each stream carries its UE's attach cell and resolved
+// workload family, across shards and mixed workloads.
+func TestSessionStreamLabels(t *testing.T) {
+	top := NewMultiCellTopology(4, 2)
+	top.Duration = time.Second
+	top.MixWorkloads()
+	res := RunTopology(top)
+	streams := res.SessionStreams()
+	if len(streams) != 4 {
+		t.Fatalf("%d streams", len(streams))
+	}
+	kinds := make(map[WorkloadKind]int)
+	cells := make(map[int]int)
+	for _, ss := range streams {
+		if ss.Workload == "" {
+			t.Fatalf("stream %s: empty workload label", ss.ID)
+		}
+		if ss.Workload != res.UEs[ss.UE].Workload {
+			t.Fatalf("stream %s: workload %q != UE's %q", ss.ID, ss.Workload, res.UEs[ss.UE].Workload)
+		}
+		if ss.Cell != res.UEs[ss.UE].Spec.Cell {
+			t.Fatalf("stream %s: cell %d != UE's %d", ss.ID, ss.Cell, res.UEs[ss.UE].Spec.Cell)
+		}
+		kinds[ss.Workload]++
+		cells[ss.Cell]++
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("mixed workloads collapsed to %v", kinds)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells %v, want both cells covered", cells)
+	}
+
+	// The single-cell default keeps the historical VCA family and cell 0.
+	st := NewTopology(1)
+	st.Duration = time.Second
+	for _, ss := range RunTopology(st).SessionStreams() {
+		if ss.Workload != WorkloadVCA || ss.Cell != 0 {
+			t.Fatalf("single-cell stream labels %q/%d", ss.Workload, ss.Cell)
+		}
+	}
+}
+
 // TestSessionStreamInputsMatchRunReports checks the tap reproduces the
 // run's own correlation inputs: batch-correlating a tapped stream yields
 // the same per-packet joins the run computed (modulo the downstream

@@ -3,7 +3,10 @@ package session
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"athena/internal/core"
@@ -47,8 +50,14 @@ type errorBody struct {
 //	POST   /v1/sessions/{id}/records      feed (Batch body) → FeedResponse
 //	GET    /v1/sessions/{id}/attribution  query → Status
 //	DELETE /v1/sessions/{id}              drain and close → final Status
-//	GET    /metrics                       obs registry snapshot (JSON)
-//	GET    /healthz                       liveness
+//	GET    /v1/overview                   fleet rollup → Overview
+//	GET    /v1/events                     structured event stream (JSON
+//	                                      long-poll via ?since=&max=&wait=,
+//	                                      or SSE via Accept: text/event-stream)
+//	GET    /metrics                       Prometheus text exposition, or the
+//	                                      JSON snapshot via Accept: application/json
+//	GET    /metrics/json                  obs registry snapshot (JSON, always)
+//	GET    /healthz                       liveness: status, session count, uptime
 //
 // Error statuses: 400 for malformed bodies and feed-contract violations
 // (the body names the offending record), 404 for unknown sessions, 409
@@ -61,11 +70,11 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/records", r.handleFeed)
 	mux.HandleFunc("GET /v1/sessions/{id}/attribution", r.handleAttribution)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", r.handleClose)
-	mux.HandleFunc("GET /metrics", handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /v1/overview", r.handleOverview)
+	mux.HandleFunc("GET /v1/events", r.handleEvents)
+	mux.Handle("GET /metrics", obs.MetricsHandler())
+	mux.Handle("GET /metrics/json", obs.MetricsJSONHandler())
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	return countRequests(mux)
 }
 
@@ -138,11 +147,156 @@ func (r *Registry) handleClose(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := obs.WriteMetricsJSON(w); err != nil {
-		metHTTPErrors.Inc()
+// healthBody is the /healthz reply: liveness plus the two numbers an
+// external monitor wants before scraping anything deeper.
+type healthBody struct {
+	Status        string  `json:"status"`
+	Sessions      int     `json:"sessions"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (r *Registry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:        "ok",
+		Sessions:      r.Len(),
+		UptimeSeconds: r.Uptime().Seconds(),
+	})
+}
+
+func (r *Registry) handleOverview(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.Overview())
+}
+
+// EventsResponse is the JSON long-poll reply of GET /v1/events.
+type EventsResponse struct {
+	// Events are the buffered events after the requested cursor, oldest
+	// first. Dropped counts events evicted from the ring before this
+	// consumer could read them (detectable gap, never silent).
+	Events  []obs.Event `json:"events"`
+	Dropped int64       `json:"dropped,omitempty"`
+
+	// Next is the cursor to pass as ?since= on the next poll.
+	Next uint64 `json:"next"`
+
+	Stats obs.EventLogStats `json:"stats"`
+}
+
+// eventsWaitCap bounds how long one long-poll request may hold its
+// handler goroutine.
+const eventsWaitCap = 30 * time.Second
+
+// handleEvents serves the structured event stream. Query parameters:
+// since (resume cursor, default 0), max (page size, default all
+// buffered), wait (long-poll duration, Go syntax e.g. "5s"; also the SSE
+// session length). With Accept: text/event-stream events arrive as SSE
+// "data:" frames as they happen; otherwise one JSON page is returned,
+// after blocking up to wait if the log is empty past the cursor.
+func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	since, err := parseUintParam(q.Get("since"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+		return
 	}
+	max, err := parseUintParam(q.Get("max"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad max: %w", err))
+		return
+	}
+	var wait time.Duration
+	if ws := q.Get("wait"); ws != "" {
+		wait, err = time.ParseDuration(ws)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %w", err))
+			return
+		}
+		if wait > eventsWaitCap {
+			wait = eventsWaitCap
+		}
+	}
+	if strings.Contains(req.Header.Get("Accept"), "text/event-stream") {
+		r.serveEventsSSE(w, req, since, wait)
+		return
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		changed := r.Events.Changed()
+		evs, dropped, next := r.Events.Since(since, int(max))
+		if len(evs) > 0 || dropped > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			writeJSON(w, http.StatusOK, EventsResponse{
+				Events: evs, Dropped: dropped, Next: next, Stats: r.Events.Stats(),
+			})
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-req.Context().Done():
+		}
+		timer.Stop()
+		if req.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// serveEventsSSE streams events as server-sent "data:" frames until the
+// client disconnects or the wait window (default eventsWaitCap) closes.
+func (r *Registry) serveEventsSSE(w http.ResponseWriter, req *http.Request, since uint64, wait time.Duration) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	if wait <= 0 {
+		wait = eventsWaitCap
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	enc := json.NewEncoder(w)
+	for {
+		changed := r.Events.Changed()
+		evs, dropped, next := r.Events.Since(since, 0)
+		if dropped > 0 {
+			fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", dropped)
+		}
+		for i := range evs {
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if err := enc.Encode(evs[i]); err != nil { // Encode writes the trailing \n
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 || dropped > 0 {
+			flusher.Flush()
+		}
+		since = next
+		select {
+		case <-changed:
+		case <-deadline.C:
+			return
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// parseUintParam parses an optional non-negative integer query value.
+func parseUintParam(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
 }
 
 // decodeStatus maps a request-body decode failure to an HTTP status:

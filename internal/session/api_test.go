@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"athena/internal/core"
+	"athena/internal/obs"
 )
 
 // do round-trips a JSON request through the API handler.
@@ -201,16 +204,200 @@ func TestAPIBodyTooLarge(t *testing.T) {
 func TestAPIMetricsAndHealth(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Handler()
-	if rr, _ := do(t, h, "GET", "/healthz", nil); rr.Code != http.StatusOK {
+
+	// /healthz is now structured: liveness plus session count and uptime.
+	rr, body := do(t, h, "GET", "/healthz", nil)
+	if rr.Code != http.StatusOK {
 		t.Fatalf("healthz: %d", rr.Code)
 	}
-	rr, body := do(t, h, "GET", "/metrics", nil)
+	var health struct {
+		Status        string  `json:"status"`
+		Sessions      int     `json:"sessions"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Sessions != 0 || health.UptimeSeconds < 0 {
+		t.Fatalf("healthz body: %+v", health)
+	}
+
+	// Bare /metrics is Prometheus text exposition...
+	rr, body = do(t, h, "GET", "/metrics", nil)
 	if rr.Code != http.StatusOK {
 		t.Fatalf("metrics: %d", rr.Code)
 	}
+	if ct := rr.Header().Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	if _, err := obs.ParsePrometheus(bytes.NewReader(body)); err != nil {
+		t.Fatalf("metrics exposition does not lint: %v", err)
+	}
+
+	// ...while Accept: application/json and /metrics/json keep the JSON
+	// snapshot for existing scrapers.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	jr := httptest.NewRecorder()
+	h.ServeHTTP(jr, req)
 	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(jr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("Accept-negotiated metrics not JSON: %v", err)
+	}
+	rr, body = do(t, h, "GET", "/metrics/json", nil)
 	if err := json.Unmarshal(body, &snap); err != nil {
-		t.Fatalf("metrics not JSON: %v", err)
+		t.Fatalf("/metrics/json not JSON: %v", err)
+	}
+}
+
+// TestAPIOverviewAndEvents drives the fleet endpoints end to end over
+// HTTP: the overview totals mirror the sessions' attribution exactly,
+// and the event stream paginates by cursor, long-polls, and streams SSE.
+func TestAPIOverviewAndEvents(t *testing.T) {
+	reg := NewRegistry()
+	reg.Events = obs.NewEventLog(64)
+	h := reg.Handler()
+
+	if rr, body := do(t, h, "POST", "/v1/sessions",
+		Config{ID: "ov1", Cell: "cell0", Workload: "vca"}); rr.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rr.Code, body)
+	}
+	in := synthFeedTB(40)
+	if rr, body := do(t, h, "POST", "/v1/sessions/ov1/records", Batch{
+		Sender: in.Sender, Core: in.Core, TBs: in.TBs,
+		AdvanceTo: in.Sender[len(in.Sender)-1].LocalTime + 30*time.Second,
+	}); rr.Code != http.StatusOK {
+		t.Fatalf("feed: %d %s", rr.Code, body)
+	}
+	rr, body := do(t, h, "DELETE", "/v1/sessions/ov1", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("close: %d %s", rr.Code, body)
+	}
+	var final Status
+	if err := json.Unmarshal(body, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Attribution.Packets == 0 || len(final.Attribution.TotalNS) == 0 {
+		t.Fatalf("final status carries no integer totals: %+v", final.Attribution)
+	}
+
+	rr, body = do(t, h, "GET", "/v1/overview", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("overview: %d %s", rr.Code, body)
+	}
+	var ov Overview
+	if err := json.Unmarshal(body, &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Packets != int64(final.Attribution.Packets) {
+		t.Fatalf("overview packets %d != session %d", ov.Packets, final.Attribution.Packets)
+	}
+	for c, ns := range final.Attribution.TotalNS {
+		if ov.TotalNS[c] != ns {
+			t.Fatalf("overview %s: %d != session %d", c, ov.TotalNS[c], ns)
+		}
+	}
+	if ov.Events == nil || ov.Events.Emitted == 0 {
+		t.Fatal("overview carries no event accounting")
+	}
+	if ov.Cells["cell0"].Packets != ov.Packets || ov.Families["vca"].Packets != ov.Packets {
+		t.Fatalf("dimension bins incomplete: %+v / %+v", ov.Cells, ov.Families)
+	}
+
+	// Cursor pagination: page of 1, then the rest, then caught-up.
+	rr, body = do(t, h, "GET", "/v1/events?max=1", nil)
+	var page EventsResponse
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 1 || page.Events[0].Type != "session.create" {
+		t.Fatalf("first page %+v", page)
+	}
+	rr, body = do(t, h, "GET", "/v1/events?since="+strconv.FormatUint(page.Next, 10), nil)
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 1 || page.Events[0].Type != "session.close" {
+		t.Fatalf("second page %+v", page)
+	}
+	rr, body = do(t, h, "GET", "/v1/events?since="+strconv.FormatUint(page.Next, 10), nil)
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 0 || page.Stats.Emitted != 2 {
+		t.Fatalf("caught-up page %+v", page)
+	}
+
+	// Long-poll: a waiting GET returns as soon as an event is emitted.
+	caughtUp := page.Next
+	got := make(chan EventsResponse, 1)
+	go func() {
+		_, body := do(t, h, "GET",
+			"/v1/events?wait=10s&since="+strconv.FormatUint(caughtUp, 10), nil)
+		var r EventsResponse
+		json.Unmarshal(body, &r)
+		got <- r
+	}()
+	time.Sleep(20 * time.Millisecond) // let the poller block
+	if rr, body := do(t, h, "POST", "/v1/sessions", Config{ID: "ov2"}); rr.Code != http.StatusCreated {
+		t.Fatalf("create ov2: %d %s", rr.Code, body)
+	}
+	select {
+	case r := <-got:
+		if len(r.Events) != 1 || r.Events[0].Type != "session.create" || r.Events[0].Session != "ov2" {
+			t.Fatalf("long-poll woke with %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke")
+	}
+
+	// SSE: the same stream as data: frames.
+	req := httptest.NewRequest("GET", "/v1/events?wait=50ms", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	sr := httptest.NewRecorder()
+	h.ServeHTTP(sr, req)
+	if ct := sr.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	var frames int
+	for _, line := range strings.Split(sr.Body.String(), "\n") {
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		frames++
+		var e obs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("SSE frame not JSON: %v in %q", err, line)
+		}
+	}
+	if frames != 3 {
+		t.Fatalf("SSE delivered %d frames, want 3:\n%s", frames, sr.Body.String())
+	}
+
+	// Malformed cursor parameters are 400s, not 500s.
+	if rr, _ := do(t, h, "GET", "/v1/events?since=notanumber", nil); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad since: %d", rr.Code)
+	}
+	if rr, _ := do(t, h, "GET", "/v1/events?wait=bogus", nil); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad wait: %d", rr.Code)
+	}
+}
+
+// Without an event log configured the endpoints degrade gracefully: the
+// nil-receiver-safe EventLog yields empty pages, never a panic.
+func TestAPIEventsWithoutLog(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Handler()
+	rr, body := do(t, h, "GET", "/v1/events", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("events without log: %d", rr.Code)
+	}
+	var page EventsResponse
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 0 || page.Next != 0 {
+		t.Fatalf("nil-log page %+v", page)
 	}
 }
 

@@ -1,0 +1,146 @@
+package session
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/obs"
+)
+
+// BenchmarkRollupFold measures one fold on the per-view emit path — the
+// exact cost rollups add to every attributed packet. Run with
+// -obs (see obs.BenchFlag) toggled by the two named variants below.
+func benchRollupFold(b *testing.B, enabled bool) {
+	if enabled {
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.ResetAll()
+		}()
+	}
+	r := NewRollup()
+	f := r.Bind("cell0", "vca")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.fold(1000, 2000, 3000, 4000, 500, 6000, true)
+	}
+}
+
+func BenchmarkRollupFold(b *testing.B)    { benchRollupFold(b, false) }
+func BenchmarkRollupFoldObs(b *testing.B) { benchRollupFold(b, true) }
+
+// benchFeedInput is a pre-built 2k-packet resolvable stream shared by
+// the feed benchmarks.
+func benchFeedInput(n int) core.Input { return synthFeedTB(n) }
+
+// BenchmarkSessionFeed measures the whole ingest path — correlation,
+// digest, attribution accumulate, and the rollup fold — per packet.
+func benchSessionFeed(b *testing.B, enabled bool) {
+	if enabled {
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.ResetAll()
+		}()
+	}
+	const n = 2000
+	in := benchFeedInput(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		reg := NewRegistry()
+		reg.Events = obs.NewEventLog(1024)
+		s, err := reg.Create(Config{ID: "bench", Cell: "cell0", Workload: "vca"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ti := 0
+		for j := 0; j < n; j += 100 {
+			adv := in.Sender[j+99].LocalTime + 6*time.Millisecond
+			batch := Batch{Sender: in.Sender[j : j+100], Core: in.Core[j : j+100], AdvanceTo: adv}
+			for ti < len(in.TBs) && in.TBs[ti].At <= adv {
+				batch.TBs = append(batch.TBs, in.TBs[ti])
+				ti++
+			}
+			if _, err := s.Feed(&batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reg.CloseAll()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/packet")
+}
+
+func BenchmarkSessionFeed(b *testing.B)    { benchSessionFeed(b, false) }
+func BenchmarkSessionFeedObs(b *testing.B) { benchSessionFeed(b, true) }
+
+// BenchmarkWritePrometheus measures one full text exposition render of a
+// fleet-sized registry: 100 sessions' worth of per-session metrics plus
+// the rollup families.
+func BenchmarkWritePrometheus(b *testing.B) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.ResetAll()
+	}()
+	reg := NewRegistry()
+	in := synthFeedTB(20)
+	for i := 0; i < 100; i++ {
+		id := "bench" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		s, err := reg.Create(Config{ID: id, Cell: "cell0", Workload: "vca"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		feedAllBench(b, s, in)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverviewSnapshot measures one /v1/overview render.
+func BenchmarkOverviewSnapshot(b *testing.B) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.ResetAll()
+	}()
+	reg := NewRegistry()
+	in := synthFeedTB(50)
+	for _, cfg := range []Config{
+		{ID: "ova", Cell: "cell0", Workload: "vca"},
+		{ID: "ovb", Cell: "cell1", Workload: "bulk-transfer"},
+	} {
+		s, err := reg.Create(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		feedAllBench(b, s, in)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Overview()
+	}
+}
+
+func feedAllBench(b *testing.B, s *Session, in core.Input) {
+	b.Helper()
+	last := in.Sender[len(in.Sender)-1].LocalTime
+	if _, err := s.Feed(&Batch{
+		Sender: in.Sender, Core: in.Core, TBs: in.TBs, AdvanceTo: last + 30*time.Second,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

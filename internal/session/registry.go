@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"athena/internal/obs"
 )
@@ -40,13 +41,48 @@ type Registry struct {
 	// MaxSessions bounds concurrent sessions; zero means unbounded.
 	MaxSessions int
 
+	// Events, when set, receives the structured lifecycle stream:
+	// session.create / session.close / session.backpressure /
+	// session.reject / session.anomaly[.clear] / registry.drain. Set it
+	// before the first Create; nil disables emission entirely.
+	Events *obs.EventLog
+
+	// AnomalyHARQP99 bounds each session's HARQ-attributed p99 delay;
+	// a session whose p99 crosses it emits a session.anomaly event (and
+	// session.anomaly.clear when it recovers). Zero disables the check.
+	AnomalyHARQP99 time.Duration
+
 	mu       sync.RWMutex
 	sessions map[string]*Session
+
+	rollup *Rollup
+	start  time.Time
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{sessions: make(map[string]*Session)}
+	return &Registry{
+		sessions: make(map[string]*Session),
+		rollup:   NewRollup(),
+		start:    time.Now(),
+	}
+}
+
+// Uptime reports how long the registry has been alive.
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
+
+// Overview reports the fleet rollup: exact cause totals over every view
+// any session (live or closed) has emitted, per-cell and per-family
+// breakdowns, and event-stream accounting.
+func (r *Registry) Overview() Overview {
+	o := r.rollup.Snapshot()
+	o.Sessions = r.Len()
+	o.UptimeSeconds = r.Uptime().Seconds()
+	if r.Events != nil {
+		st := r.Events.Stats()
+		o.Events = &st
+	}
+	return o
 }
 
 // Create registers a new session. The ID must be non-empty, at most 128
@@ -63,10 +99,17 @@ func (r *Registry) Create(cfg Config) (*Session, error) {
 	if r.MaxSessions > 0 && len(r.sessions) >= r.MaxSessions {
 		return nil, fmt.Errorf("%w: %d", ErrFull, r.MaxSessions)
 	}
-	s := newSession(cfg)
+	s := newSession(cfg, sessionHooks{
+		fold:      r.rollup.Bind(cfg.Cell, cfg.Workload),
+		events:    r.Events,
+		anomalyNS: int64(r.AnomalyHARQP99),
+	})
 	r.sessions[cfg.ID] = s
 	metCreated.Inc()
 	metActive.Set(int64(len(r.sessions)))
+	r.Events.Emit(obs.Event{
+		Type: "session.create", Session: s.id, Cell: s.cell, Family: s.family,
+	})
 	return s, nil
 }
 
@@ -119,7 +162,12 @@ func (r *Registry) Close(id string) (Status, error) {
 	if !ok {
 		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	return s.close(), nil
+	st := s.close()
+	r.Events.Emit(obs.Event{
+		Type: "session.close", Session: s.id, Cell: s.cell, Family: s.family,
+		Detail: st.Digest, Value: int64(st.Attribution.Packets),
+	})
+	return st, nil
 }
 
 // CloseAll drains every session — the server's graceful-shutdown path —
@@ -136,9 +184,16 @@ func (r *Registry) CloseAll() []Status {
 	metActive.Set(0)
 	r.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	if len(sessions) > 0 {
+		r.Events.Emit(obs.Event{Type: "registry.drain", Value: int64(len(sessions))})
+	}
 	out := make([]Status, len(sessions))
 	for i, s := range sessions {
 		out[i] = s.close()
+		r.Events.Emit(obs.Event{
+			Type: "session.close", Session: s.id, Cell: s.cell, Family: s.family,
+			Detail: out[i].Digest, Value: int64(out[i].Attribution.Packets),
+		})
 	}
 	return out
 }

@@ -48,6 +48,12 @@ type Config struct {
 	// ID is the registry key and metric-name component ("session.<id>.*").
 	ID string `json:"id"`
 
+	// Cell and Workload are the session's fleet rollup dimensions: which
+	// cell the UE lives in and which workload family it runs. Optional;
+	// empty labels aggregate under "unlabeled".
+	Cell     string `json:"cell,omitempty"`
+	Workload string `json:"workload,omitempty"`
+
 	// Input carries the session's correlation configuration: flow
 	// coverage, clock offsets, cell timing, match tolerance. Any capture
 	// slices inside are ignored — records arrive through Feed.
@@ -92,17 +98,33 @@ type Status struct {
 }
 
 // Attribution is the JSON form of the running root-cause breakdown.
+// TotalNS carries the exact integer-nanosecond totals the fleet rollup
+// folds: integer addition is associative, so the sum of every session's
+// TotalNS equals the rollup's total bit-for-bit under any feed
+// interleaving — a property the float TotalMS rendering cannot offer.
 type Attribution struct {
 	Packets      int                    `json:"packets"`
 	RetxAffected int                    `json:"retx_affected"`
 	BSRServed    int                    `json:"bsr_served"`
 	TotalMS      map[core.Cause]float64 `json:"total_ms,omitempty"`
+	TotalNS      map[core.Cause]int64   `json:"total_ns,omitempty"`
+}
+
+// sessionHooks wires a session into registry-level observability: the
+// fleet rollup fold, the structured event log, and the anomaly bound.
+// The zero value is fully inert — sessions work standalone.
+type sessionHooks struct {
+	fold      rollupFold
+	events    *obs.EventLog
+	anomalyNS int64 // HARQ-attributed p99 bound (ns); 0 disables
 }
 
 // Session is one live attribution feed. All methods are safe for
 // concurrent use; Feed calls serialize on the session mutex.
 type Session struct {
-	id string
+	id     string
+	cell   string
+	family string
 
 	mu     sync.Mutex
 	lc     *core.LiveCorrelator
@@ -110,20 +132,39 @@ type Session struct {
 	attr   core.Attribution
 	closed bool
 
+	// attrNS mirrors attr.TotalMS as exact integer nanoseconds, indexed
+	// by the dense cause indices; guarded by mu like attr.
+	attrNS [numCauses]int64
+
 	maxPending int
+
+	hooks sessionHooks
+	// anomalyOn tracks whether the HARQ p99 anomaly is currently raised,
+	// so crossings emit one event per direction instead of one per feed.
+	anomalyOn bool
 
 	// Per-session metrics, registered under "session.<id>." and retired
 	// when the session closes.
 	metIngest  *obs.Histogram // ingest_ns: wall time of each Feed call
 	metPending *obs.Gauge     // pending: unresolved packets after last feed
 	metTrims   *obs.Gauge     // trims: correlator state trims so far
+	metHARQ    *obs.Histogram // harq_ns: HARQ-attributed delay per packet
 }
 
-func newSession(cfg Config) *Session {
+func newSession(cfg Config, hooks sessionHooks) *Session {
 	s := &Session{
 		id:         cfg.ID,
+		cell:       cfg.Cell,
+		family:     cfg.Workload,
 		hasher:     core.NewViewHasher(),
 		maxPending: cfg.MaxPending,
+		hooks:      hooks,
+	}
+	if s.cell == "" {
+		s.cell = unlabeledBin
+	}
+	if s.family == "" {
+		s.family = unlabeledBin
 	}
 	if s.maxPending == 0 {
 		s.maxPending = DefaultMaxPending
@@ -131,6 +172,7 @@ func newSession(cfg Config) *Session {
 	s.lc = core.NewLive(cfg.Input, func(v core.PacketView) {
 		s.hasher.Add(v)
 		s.attr.Accumulate(v)
+		s.foldView(v)
 	})
 	if cfg.FlushAfter > 0 {
 		s.lc.FlushAfter = cfg.FlushAfter
@@ -139,7 +181,36 @@ func newSession(cfg Config) *Session {
 	s.metIngest = obs.NewHistogram(prefix + "ingest_ns")
 	s.metPending = obs.NewGauge(prefix + "pending")
 	s.metTrims = obs.NewGauge(prefix + "trims")
+	s.metHARQ = obs.NewHistogram(prefix + "harq_ns")
 	return s
+}
+
+// foldView accumulates one emitted view's integer-nanosecond components
+// into the session totals and the fleet rollup. The admission rule and
+// component derivation mirror core.Attribution.Accumulate exactly, so
+// attrNS is the integer twin of attr.TotalMS view for view. Runs under
+// the session mutex (emit callbacks fire inside Feed/close).
+func (s *Session) foldView(v core.PacketView) {
+	if !v.SeenCore || len(v.TBIDs) == 0 {
+		return
+	}
+	nonBSR := int64(v.QueueWait - v.BSRWait)
+	bsrNS := int64(v.BSRWait)
+	harqNS := int64(v.HARQDelay)
+	s.attrNS[causeIdxQueueSlot] += nonBSR
+	s.attrNS[causeIdxBSR] += bsrNS
+	s.attrNS[causeIdxHARQ] += harqNS
+	total := int64(v.QueueWait) + harqNS
+	var wanNS, sfuNS int64
+	if v.SeenRecv {
+		wanNS = int64(v.WANDelay - v.SFUDelay)
+		sfuNS = int64(v.SFUDelay)
+		s.attrNS[causeIdxWAN] += wanNS
+		s.attrNS[causeIdxSFU] += sfuNS
+		total += int64(v.WANDelay)
+	}
+	s.metHARQ.Observe(harqNS)
+	s.hooks.fold.fold(nonBSR, bsrNS, harqNS, wanNS, sfuNS, total, v.SeenRecv)
 }
 
 // ID returns the session identifier.
@@ -159,10 +230,18 @@ func (s *Session) Feed(b *Batch) (core.LiveSnapshot, error) {
 		return core.LiveSnapshot{}, fmt.Errorf("%w: %s", ErrClosed, s.id)
 	}
 	if snap := s.lc.Snapshot(); s.maxPending > 0 && snap.Pending+len(b.Sender) > s.maxPending {
+		s.hooks.events.Emit(obs.Event{
+			Type: "session.backpressure", Session: s.id, Cell: s.cell, Family: s.family,
+			Value: int64(snap.Pending + len(b.Sender)),
+		})
 		return snap, fmt.Errorf("%w: %d pending + %d arriving > %d",
 			ErrBackpressure, snap.Pending, len(b.Sender), s.maxPending)
 	}
 	if err := s.feedLocked(b); err != nil {
+		s.hooks.events.Emit(obs.Event{
+			Type: "session.reject", Session: s.id, Cell: s.cell, Family: s.family,
+			Detail: err.Error(),
+		})
 		snap := s.lc.Snapshot()
 		s.observeLocked(start, snap)
 		return snap, err
@@ -198,6 +277,34 @@ func (s *Session) observeLocked(start time.Time, snap core.LiveSnapshot) {
 	s.metIngest.ObserveDuration(time.Since(start))
 	s.metPending.Set(int64(snap.Pending))
 	s.metTrims.Set(snap.Trims)
+	s.checkAnomalyLocked()
+}
+
+// checkAnomalyLocked compares the session's HARQ-attributed p99 against
+// the configured bound and emits one event per crossing: raised on the
+// way up, cleared on the way back down. Quantile is allocation-free, so
+// this rides every feed without disturbing the 0-alloc ingest contract.
+// The histogram is gated on obs.Enable like all metrics, so anomaly
+// events only fire on instrumented servers.
+func (s *Session) checkAnomalyLocked() {
+	if s.hooks.anomalyNS <= 0 || s.metHARQ.Count() == 0 {
+		return
+	}
+	p99 := s.metHARQ.Quantile(0.99)
+	switch {
+	case p99 > s.hooks.anomalyNS && !s.anomalyOn:
+		s.anomalyOn = true
+		s.hooks.events.Emit(obs.Event{
+			Type: "session.anomaly", Session: s.id, Cell: s.cell, Family: s.family,
+			Detail: "harq_p99_ns", Value: p99,
+		})
+	case p99 <= s.hooks.anomalyNS && s.anomalyOn:
+		s.anomalyOn = false
+		s.hooks.events.Emit(obs.Event{
+			Type: "session.anomaly.clear", Session: s.id, Cell: s.cell, Family: s.family,
+			Detail: "harq_p99_ns", Value: p99,
+		})
+	}
 }
 
 // Status reports the session's current state without disturbing the feed.
@@ -218,6 +325,13 @@ func (s *Session) statusLocked() Status {
 			totals[c] = ms
 		}
 	}
+	var totalNS map[core.Cause]int64
+	if s.attr.Packets > 0 {
+		totalNS = make(map[core.Cause]int64, numCauses)
+		for i, c := range causeOrder {
+			totalNS[c] = s.attrNS[i]
+		}
+	}
 	return Status{
 		ID:          s.id,
 		Closed:      s.closed,
@@ -229,6 +343,7 @@ func (s *Session) statusLocked() Status {
 			RetxAffected: s.attr.RetxAffected,
 			BSRServed:    s.attr.BSRServed,
 			TotalMS:      totals,
+			TotalNS:      totalNS,
 		},
 	}
 }

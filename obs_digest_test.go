@@ -9,6 +9,7 @@ package athena
 // the counters and timeline must show activity).
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
@@ -74,5 +75,21 @@ func TestDigestsUnchangedByObservability(t *testing.T) {
 	}
 	if expSpans != len(sel) {
 		t.Fatalf("timeline has %d experiment spans, want %d", expSpans, len(sel))
+	}
+
+	// The same registry state must also render as well-formed Prometheus
+	// exposition: whatever an instrumented sweep accumulates, /metrics
+	// has to lint under the in-repo parser, and the counters asserted
+	// above must survive the name mapping.
+	var prom bytes.Buffer
+	if err := obs.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := obs.ParsePrometheus(&prom)
+	if err != nil {
+		t.Fatalf("instrumented exposition does not lint: %v", err)
+	}
+	if pt.Families[obs.PromName("sim.events_fired")] == nil {
+		t.Fatalf("exposition lost sim.events_fired (%d families)", len(pt.Families))
 	}
 }
